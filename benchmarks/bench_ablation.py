@@ -1,0 +1,40 @@
+"""Ablations of PBE-CC's design choices (DESIGN.md list)."""
+
+import os
+
+from repro.harness.experiments import run_ablation
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def test_pbe_ablations(benchmark):
+    result = benchmark.pedantic(
+        run_ablation, kwargs={"duration_s": 20.0 if FULL else 6.0},
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    paper = result.row("paper")
+
+    # Without the Ta>1/Pa>4 filter, N is inflated by parameter-update
+    # users, so the fair-share estimate (and throughput) collapses.
+    no_filter = result.row("no_user_filter")
+    assert (no_filter.summary.average_throughput_bps
+            < 0.7 * paper.summary.average_throughput_bps)
+
+    # Without the 27 ms margin, HARQ jitter trips the Internet-state
+    # switch constantly (the paper's "works poorly in practice").
+    no_margin = result.row("no_delay_margin")
+    assert no_margin.internet_fraction > 5 * max(
+        paper.internet_fraction, 0.01)
+
+    # A bare-BDP window cannot ride through reordering stalls.
+    bare = result.row("bare_bdp_cwnd")
+    assert (bare.summary.average_throughput_bps
+            < paper.summary.average_throughput_bps)
+
+    # Instantaneous estimates still work but are noisier; they must
+    # not *beat* the averaged design on delay while the paper variant
+    # keeps its throughput edge over the worst ablations.
+    no_avg = result.row("no_averaging")
+    assert (no_avg.summary.average_throughput_bps
+            < 1.1 * paper.summary.average_throughput_bps)

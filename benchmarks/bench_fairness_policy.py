@@ -1,0 +1,56 @@
+"""§7 fairness-policy ablation: equal-PRB vs equal-rate scheduling."""
+
+from repro.harness import Experiment, FlowSpec, Scenario, jain_index
+from repro.harness.report import format_table
+from repro.phy.carrier import CarrierConfig
+from repro.phy.channel import StaticChannel
+
+
+def _run(policy):
+    scenario = Scenario(
+        name=f"policy-{policy}", carriers=[CarrierConfig(0, 20.0)],
+        aggregated_cells=1, duration_s=4.0, seed=19,
+        scheduler_policy=policy)
+    exp = Experiment(scenario)
+    exp.add_flow(FlowSpec(scheme="pbe", rnti=100,
+                          log_allocations=True))
+    exp.add_flow(FlowSpec(scheme="pbe", rnti=101,
+                          log_allocations=True))
+    # One strong user (cell centre) and one weak user (cell edge).
+    exp.network.user(100).channel = StaticChannel(24.0)
+    exp.network.user(101).channel = StaticChannel(8.0)
+    results = exp.run()
+    tputs = [r.summary.average_throughput_bps for r in results]
+    prbs = []
+    for r in results:
+        grants = [p for _, _, p in (r.allocations or [])]
+        prbs.append(sum(grants) / 4_000)  # mean PRBs/subframe
+    return tputs, prbs
+
+
+def test_fairness_policy_tradeoff(benchmark):
+    def run_both():
+        return {"equal": _run("equal"), "equal_rate": _run("equal_rate")}
+
+    outcome = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for policy, (tputs, prbs) in outcome.items():
+        rows.append([policy,
+                     tputs[0] / 1e6, tputs[1] / 1e6,
+                     jain_index(tputs),
+                     prbs[0], prbs[1]])
+    print("\n" + format_table(
+        ["policy", "strong tput", "weak tput", "tput jain",
+         "strong PRBs", "weak PRBs"],
+        rows, title="§7 fairness policies: strong (24 dB) vs weak "
+                    "(8 dB) user (Mbit/s)"))
+
+    equal_tputs, equal_prbs = outcome["equal"]
+    rate_tputs, rate_prbs = outcome["equal_rate"]
+    # equal: PRB-fair (similar PRBs, unequal throughput).
+    assert abs(equal_prbs[0] - equal_prbs[1]) < 0.15 * max(equal_prbs)
+    assert equal_tputs[0] > 2 * equal_tputs[1]
+    # equal_rate: throughput-fair (weak user gets many more PRBs).
+    assert rate_prbs[1] > 1.5 * rate_prbs[0]
+    assert jain_index(rate_tputs) > jain_index(equal_tputs)

@@ -1,0 +1,20 @@
+"""Figure 2: secondary-cell activation/deactivation timeline."""
+
+from repro.harness.experiments import run_fig02
+
+
+def test_fig02_carrier_aggregation_timeline(benchmark):
+    result = benchmark.pedantic(run_fig02, rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # The network activates the secondary cell ~0.13 s into the
+    # overload (paper: 0.13 s)...
+    assert result.activation_s is not None
+    assert 0.05 < result.activation_s < 0.4
+    # ...and deactivates it a few hundred ms after the rate drops to
+    # 6 Mbit/s at t=2 s.
+    assert result.deactivation_s is not None
+    assert 2.0 < result.deactivation_s < 3.5
+    # Queue builds while the primary is overloaded, then drains to a
+    # low steady-state delay.
+    assert result.peak_delay_ms > 2 * result.steady_delay_ms

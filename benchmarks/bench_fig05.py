@@ -1,0 +1,18 @@
+"""Figure 5: millisecond-scale idle-capacity detection and grabbing."""
+
+from repro.harness.experiments import run_fig05
+
+
+def test_fig05_idle_prb_grab(benchmark):
+    result = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # The monitor sees the freed capacity within roughly one RTprop
+    # averaging window (tens of ms; an end-to-end estimator would need
+    # several RTTs of probing).
+    assert result.detection_latency_ms < 150.0
+    # And the sender occupies it within a couple of RTTs.
+    assert result.occupation_latency_ms < 300.0
+    # The rate-limited user (Figure 5's User 3) cannot grow.
+    assert abs(result.limited_after_mbps
+               - result.limited_before_mbps) < 1.0

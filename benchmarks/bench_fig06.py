@@ -1,0 +1,32 @@
+"""Figure 6: retransmission/protocol overhead and TB error rate."""
+
+import pytest
+
+from repro.harness.experiments import run_fig06
+from repro.harness.experiments.fig06 import STRONG_SINR_DB, WEAK_SINR_DB
+
+
+def test_fig06_overhead_and_tbler(benchmark):
+    result = benchmark.pedantic(run_fig06, rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # 6(a): retransmission overhead grows with offered load.
+    for sinr in (STRONG_SINR_DB, WEAK_SINR_DB):
+        points = [p for p in result.overhead if p.sinr_db == sinr]
+        points.sort(key=lambda p: p.offered_mbps)
+        assert points[-1].retransmission_pct >= \
+            points[0].retransmission_pct
+        # Protocol overhead is the constant gamma = 6.8%.
+        assert all(p.protocol_pct == pytest.approx(6.8)
+                   for p in points)
+
+    # 6(b): theory and the MAC's empirical draw agree, and TBLER grows
+    # with TB size (the paper's 1-(1-p)^L curves).
+    for point in result.tbler:
+        assert point.empirical == pytest.approx(point.theory, abs=0.03)
+    by_ber: dict = {}
+    for point in result.tbler:
+        by_ber.setdefault(point.ber, []).append(point)
+    for points in by_ber.values():
+        points.sort(key=lambda p: p.tb_bits)
+        assert points[-1].theory > points[0].theory

@@ -1,0 +1,23 @@
+"""Figure 7: detected active users and the control-traffic filter."""
+
+import os
+
+from repro.harness.experiments import run_fig07
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def test_fig07_user_filtering(benchmark):
+    duration = 20.0 if FULL else 8.0
+    result = benchmark.pedantic(run_fig07,
+                                kwargs={"duration_s": duration},
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # Busy tower: ~15.8 users per 40 ms window before filtering...
+    assert 10.0 < result.mean_detected < 25.0
+    # ...and ~1.3 with at most a handful after Ta>1, Pa>4 (paper: 7).
+    assert result.mean_filtered < 5.0
+    assert max(result.filtered_counts) <= 8
+    # Most detected users are one-subframe parameter updates (68.2%).
+    assert 0.55 < result.frac_single_subframe < 0.85

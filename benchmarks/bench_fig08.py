@@ -1,0 +1,19 @@
+"""Figure 8: one-way delay quantization under fixed offered loads."""
+
+from repro.harness.experiments import run_fig08
+
+
+def test_fig08_retransmission_delay(benchmark):
+    result = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    series = sorted(result.series, key=lambda s: s.offered_mbps)
+    # Higher offered load -> bigger TBs -> more packets in the +8 ms
+    # retransmission band (paper: 6 -> 24 -> 36 Mbit/s).
+    retx = [s.one_retx_fraction + s.more_fraction for s in series]
+    assert retx[0] < retx[-1]
+    assert retx[0] < 0.10          # light load: few retransmissions
+    assert retx[-1] > 0.10         # heavy load: clearly visible band
+    # The minimum delay still tracks the propagation floor (§4.2.2).
+    floors = [s.min_delay_ms for s in series]
+    assert max(floors) - min(floors) < 5.0

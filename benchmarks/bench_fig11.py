@@ -1,0 +1,20 @@
+"""Figure 11: cell-status micro-benchmark (diurnal users + rates)."""
+
+from repro.harness.experiments import run_fig11
+
+
+def test_fig11_cell_status(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # Peak-hour (12:00-20:00) averages: paper measured 181 and 97.
+    assert 140 < result.peak_average("20MHz") < 230
+    assert 70 < result.peak_average("10MHz") < 130
+    # The 10 MHz cell is switched off from midnight to 3 am.
+    assert result.hourly_counts["10MHz"][:3] == [0, 0, 0]
+    assert result.hourly_counts["20MHz"][0] > 0
+    # Most users are low-rate (paper: 77.4% / 71.9% below half peak).
+    for cell in ("20MHz", "10MHz"):
+        assert 0.6 < result.frac_below_half_peak(cell) < 0.9
+    # Rates never exceed the 1.8 Mbit/s/PRB ceiling.
+    assert max(result.user_rates["20MHz"]) <= 1.85

@@ -1,0 +1,25 @@
+"""Figure 12: throughput/delay CDFs across locations for the four
+high-throughput schemes."""
+
+import numpy as np
+
+from repro.harness.experiments import fig12_from_sweep
+
+
+def test_fig12_location_cdfs(benchmark, stationary_sweep):
+    result = benchmark.pedantic(
+        fig12_from_sweep, args=(stationary_sweep,),
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    med = {s: np.median(v) for s, v in result.throughput_mbps.items()}
+    med_delay = {s: np.median(v) for s, v in result.p95_delay_ms.items()}
+
+    # PBE's throughput distribution is at least on par with every other
+    # high-throughput scheme (paper: highest at most locations).
+    for scheme in ("bbr", "cubic", "verus"):
+        assert med["pbe"] > 0.9 * med[scheme]
+    # And its delay distribution is far to the left (paper Figure 12b).
+    assert med_delay["pbe"] < 0.75 * med_delay["bbr"]
+    assert med_delay["pbe"] < 0.5 * med_delay["cubic"]
+    assert med_delay["pbe"] < 0.5 * med_delay["verus"]

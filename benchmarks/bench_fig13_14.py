@@ -1,0 +1,55 @@
+"""Figures 13-14: order-statistic drill-down, eight schemes per
+location."""
+
+import os
+
+from repro.harness.experiments import run_fig13_14
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Reduced run covers one busy indoor, the idle indoor, and the busy
+#: outdoor location; the full run covers all six.
+REDUCED_KEYS = ("fig13b_2cc_indoor_busy", "fig13d_3cc_indoor_idle",
+                "fig14a_2cc_outdoor_busy")
+
+
+def test_fig13_14_order_statistics(benchmark):
+    kwargs = {"duration_s": 20.0 if FULL else 6.0}
+    if not FULL:
+        kwargs["location_keys"] = REDUCED_KEYS
+    result = benchmark.pedantic(run_fig13_14, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    for key, by_scheme in result.locations.items():
+        pbe = by_scheme["pbe"]
+        bbr = by_scheme["bbr"]
+        # PBE: throughput comparable to BBR, much lower delay (the
+        # figures' visual headline).
+        assert pbe.average_throughput_bps > \
+            0.85 * bbr.average_throughput_bps
+        assert pbe.median_delay_ms < bbr.median_delay_ms
+        # The four conservative schemes have a large throughput
+        # disadvantage at every location.
+        for scheme in ("copa", "sprout", "vivace"):
+            assert (by_scheme[scheme].average_throughput_bps
+                    < 0.6 * pbe.average_throughput_bps)
+        # Verus: high throughput but excessive delay.
+        verus = by_scheme["verus"]
+        assert verus.median_delay_ms > 2 * pbe.median_delay_ms
+
+
+def test_fig13d_idle_cell_is_stable(benchmark):
+    result = benchmark.pedantic(
+        run_fig13_14,
+        kwargs={"schemes": ("pbe",),
+                "location_keys": ("fig13d_3cc_indoor_idle",),
+                "duration_s": 20.0 if FULL else 6.0},
+        rounds=1, iterations=1)
+    summary = result.summary("fig13d_3cc_indoor_idle", "pbe")
+    # Paper: on idle cells PBE has low variance in delay and throughput.
+    spread = (summary.delay_percentiles_ms[90]
+              - summary.delay_percentiles_ms[10])
+    assert spread < 15.0
+    tput = summary.throughput_percentiles_bps
+    assert tput[90] < 1.5 * tput[10]

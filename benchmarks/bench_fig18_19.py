@@ -1,0 +1,28 @@
+"""Figures 18-19: controlled on-off competition."""
+
+import os
+
+from repro.harness.experiments import run_fig18_19
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def test_fig18_19_controlled_competition(benchmark):
+    duration = 40.0 if FULL else 16.0
+    result = benchmark.pedantic(
+        run_fig18_19, kwargs={"duration_s": duration},
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    pbe = result.summaries["pbe"]
+    bbr = result.summaries["bbr"]
+    # Paper: PBE ~57 Mbit/s at 61/71 ms avg/p95; BBR slightly higher
+    # throughput but 147/227 ms delays.
+    assert pbe.average_throughput_bps > 0.8 * bbr.average_throughput_bps
+    assert pbe.average_delay_ms < 0.75 * bbr.average_delay_ms
+    assert pbe.p95_delay_ms < 0.65 * bbr.p95_delay_ms
+
+    # PBE yields while the competitor is on and grabs the capacity
+    # back when it stops (Figure 19's timeline shape).
+    on_tput, off_tput = result.on_off_split["pbe"]
+    assert on_tput < 0.8 * off_tput

@@ -1,0 +1,28 @@
+"""Figure 20: one device, two concurrent connections."""
+
+import os
+
+from repro.harness.experiments import run_fig20
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def test_fig20_two_connections(benchmark):
+    result = benchmark.pedantic(
+        run_fig20, kwargs={"duration_s": 40.0 if FULL else 8.0},
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # Paper: PBE splits the capacity almost evenly (26 vs 28 Mbit/s);
+    # both flows see low median delay (48/56 ms).
+    assert result.balance("pbe") > 0.95
+    a, b = result.pairs["pbe"]
+    assert a.average_throughput_bps > 0
+    assert b.average_throughput_bps > 0
+    # PBE at least as balanced as BBR (the paper measured BBR at
+    # 10 vs 35 Mbit/s).
+    assert result.balance("pbe") >= result.balance("bbr") - 0.02
+    # And with lower delay than BBR on both flows.
+    bbr_a, bbr_b = result.pairs["bbr"]
+    assert a.median_delay_ms < bbr_a.median_delay_ms * 1.1
+    assert b.median_delay_ms < bbr_b.median_delay_ms * 1.1

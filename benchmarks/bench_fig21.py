@@ -1,0 +1,30 @@
+"""Figure 21: multi-user fairness, RTT fairness, TCP friendliness."""
+
+import os
+
+from repro.harness.experiments import run_fig21
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def test_fig21_fairness(benchmark):
+    result = benchmark.pedantic(
+        run_fig21, kwargs={"time_scale": 1.0 if FULL else 0.2},
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # Paper: every Jain index above 98% with two flows and above ~98%
+    # with three.
+    multi = result.variant("multi_user")
+    assert multi.jain_2 > 0.97
+    assert multi.jain_3 > 0.95
+
+    # RTT fairness: a 297 ms-RTT flow gets its share too (paper:
+    # 99.45%).
+    rtt = result.variant("rtt")
+    assert rtt.jain_3 > 0.95
+
+    # TCP friendliness: the cell's per-user fairness keeps BBR/CUBIC
+    # from starving PBE (paper: >98%).
+    assert result.variant("vs_bbr").jain_3 > 0.90
+    assert result.variant("vs_cubic").jain_3 > 0.90

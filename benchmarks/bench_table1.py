@@ -1,0 +1,29 @@
+"""Table 1: summary throughput speedup and delay reduction vs BBR,
+Verus and Copa over busy and idle links."""
+
+from repro.harness.experiments import table1_from_sweep
+
+
+def test_table1(benchmark, stationary_sweep):
+    result = benchmark.pedantic(
+        table1_from_sweep, args=(stationary_sweep,),
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+
+    # Shape checks against the paper's Table 1:
+    for condition in ("busy", "idle"):
+        bbr = result.row("bbr", condition)
+        # PBE matches BBR's throughput (paper: 1.04-1.10x)...
+        assert bbr.throughput_speedup > 0.90
+        # ...while cutting its delay substantially (paper: 1.4-2.1x).
+        assert bbr.p95_delay_reduction > 1.3
+        assert bbr.avg_delay_reduction > 1.2
+
+        verus = result.row("verus", condition)
+        assert verus.p95_delay_reduction > 2.0  # paper: 3.4-4.0x
+
+        copa = result.row("copa", condition)
+        # Copa's throughput collapse (paper: 10-13x) at slightly lower
+        # delay than PBE (paper: 0.79-0.82).
+        assert copa.throughput_speedup > 3.0
+        assert copa.p95_delay_reduction < 1.0

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmark scale: by default every experiment runs a *reduced* version
+of the paper's setup (fewer locations, shorter flows) so the whole
+suite finishes in tens of minutes.  Set ``REPRO_FULL=1`` in the
+environment to run the paper-scale versions (40 locations, 40-second
+flows) — that is what EXPERIMENTS.md records.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import run_stationary_sweep
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Reduced-scale knobs (paper-scale value in the comment).
+SWEEP_BUSY = 25 if FULL else 5           # 25
+SWEEP_IDLE = 15 if FULL else 3           # 15
+SWEEP_DURATION_S = 20.0 if FULL else 6.0  # 20 s flows
+LONG_RUN_S = 40.0 if FULL else 16.0      # mobility / competition
+FAIRNESS_SCALE = 1.0 if FULL else 0.2    # 60 s fairness schedule
+
+
+@pytest.fixture(scope="session")
+def stationary_sweep():
+    """One shared sweep feeding Table 1, Figure 12 and Figure 15."""
+    return run_stationary_sweep(
+        schemes=("pbe", "bbr", "cubic", "verus", "copa"),
+        n_busy=SWEEP_BUSY, n_idle=SWEEP_IDLE,
+        duration_s=SWEEP_DURATION_S)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Handover: PBE-CC crossing a cell boundary mid-flow.
+
+§1 of the paper singles out handover as a case where base-station-
+centric designs (like ABC) would need to migrate state between towers,
+while an endpoint-centric monitor just follows its phone.  This demo
+hands the device over to a new primary cell (with a different channel
+quality) in the middle of a download: the PBE monitor re-anchors on
+the new cell's control channel and the sender re-converges within a
+few RTTs, compared against BBR over the identical event.
+
+Run:  python examples/handover.py
+"""
+
+import numpy as np
+
+from repro.harness import Experiment, FlowSpec, Scenario
+from repro.harness.report import format_table
+from repro.phy.carrier import CarrierConfig
+from repro.phy.channel import StaticChannel
+
+HANDOVER_S = 3.0
+DURATION_S = 6.0
+
+
+def run(scheme: str):
+    scenario = Scenario(
+        name="handover",
+        carriers=[CarrierConfig(0, 10.0), CarrierConfig(1, 10.0)],
+        aggregated_cells=1, mean_sinr_db=18.0, duration_s=DURATION_S,
+        seed=6)
+    experiment = Experiment(scenario)
+    # The device can decode both cells (union of its path).
+    handle = experiment.add_flow(FlowSpec(scheme=scheme, cells=[0, 1]))
+    experiment.network.user(100).agg.configured[:] = [0]
+    experiment.schedule_handover(handle, at_s=HANDOVER_S,
+                                 new_cells=[1],
+                                 channel=StaticChannel(23.0))
+    result = experiment.run()[0]
+
+    arrivals = np.asarray(result.stats.arrival_us) / 1e6
+    sizes = np.asarray(result.stats.size_bits)
+    delays = np.asarray(result.stats.delay_us) / 1e3
+    rows = []
+    for lo in np.arange(0.0, DURATION_S, 0.5):
+        mask = (arrivals >= lo) & (arrivals < lo + 0.5)
+        rows.append([f"{lo:.1f}",
+                     sizes[mask].sum() / 0.5 / 1e6,
+                     float(np.median(delays[mask])) if mask.any()
+                     else 0.0])
+    return rows
+
+
+def main() -> None:
+    pbe_rows = run("pbe")
+    bbr_rows = run("bbr")
+    rows = [p + b[1:] for p, b in zip(pbe_rows, bbr_rows)]
+    print(format_table(
+        ["t (s)", "PBE tput", "PBE delay", "BBR tput", "BBR delay"],
+        rows,
+        title=f"Handover at t={HANDOVER_S:.0f}s to a stronger cell "
+              f"(tput Mbit/s, median delay ms)"))
+    print("\nThe ~40 ms handover gap dents both flows; PBE re-anchors "
+          "its monitor\non the new cell and jumps straight to the new "
+          "capacity.")
+
+
+if __name__ == "__main__":
+    main()

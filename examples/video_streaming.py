@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Application-limited traffic: a video stream beside a bulk download.
+
+The paper's Figure 5 walks through what happens when one user's flow
+is rate-limited by its application: the limited user keeps only the
+PRBs it needs, and the other users detect the idle capacity within a
+couple of subframes and absorb it.  This demo runs an adaptive-bitrate
+style video flow (application-capped, stepping through bitrates) next
+to a full-buffer PBE-CC download on the same cell and shows the
+download instantly soaking up whatever the video leaves free.
+
+Run:  python examples/video_streaming.py
+"""
+
+import numpy as np
+
+from repro.harness import Experiment, FlowSpec, Scenario
+from repro.harness.report import format_table
+from repro.phy.carrier import CarrierConfig
+
+#: The "ABR ladder": (time_s, video bitrate bps).
+LADDER = [(0.0, 4e6), (2.0, 10e6), (4.0, 2e6), (6.0, 16e6)]
+DURATION_S = 8.0
+
+
+def main() -> None:
+    scenario = Scenario(name="video",
+                        carriers=[CarrierConfig(0, 10.0)],
+                        aggregated_cells=1, mean_sinr_db=17.0,
+                        fading_std_db=0.5, duration_s=DURATION_S,
+                        seed=10)
+    experiment = Experiment(scenario)
+    video = experiment.add_flow(FlowSpec(scheme="pbe", rnti=100,
+                                         app_rate_bps=LADDER[0][1]))
+    bulk = experiment.add_flow(FlowSpec(scheme="pbe", rnti=101))
+    for at_s, rate in LADDER[1:]:
+        experiment.sim.schedule(
+            int(at_s * 1e6),
+            lambda r=rate: setattr(video.sender, "app_rate_bps", r))
+    results = experiment.run()
+
+    def series(result):
+        arrivals = np.asarray(result.stats.arrival_us)
+        sizes = np.asarray(result.stats.size_bits)
+        out = []
+        for lo in np.arange(0.0, DURATION_S, 0.5):
+            mask = (arrivals >= lo * 1e6) & (arrivals < (lo + 0.5) * 1e6)
+            out.append(sizes[mask].sum() / 0.5 / 1e6)
+        return out
+
+    video_series, bulk_series = series(results[0]), series(results[1])
+    rows = []
+    for i, (v, b) in enumerate(zip(video_series, bulk_series)):
+        rows.append([f"{i * 0.5:.1f}", v, b, v + b])
+    print(format_table(
+        ["t (s)", "video (Mbit/s)", "bulk (Mbit/s)", "total"],
+        rows, title="ABR video vs PBE-CC bulk download on one cell "
+                    "(cf. paper Figure 5)"))
+    print("\nWhenever the video steps its bitrate down, the bulk flow's"
+          "\nmonitor sees the freed PRBs and the download absorbs them "
+          "within\na feedback round trip — and yields them back when "
+          "the video\nsteps up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Run every table/figure experiment and record the outputs.
+
+Writes the formatted result of each driver to stdout (pipe it into a
+file for EXPERIMENTS.md).  Scale knobs sit between the benchmark
+defaults and the paper's full setup so one pass finishes in well under
+an hour on a laptop.
+
+Run:  python scripts/record_experiments.py | tee experiments_raw.txt
+"""
+
+import time
+
+from repro.harness import experiments as exp
+
+
+def section(name):
+    print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}", flush=True)
+
+
+def main() -> None:
+    t0 = time.time()
+
+    section("Stationary sweep (Table 1 / Figure 12 / Figure 15)")
+    sweep = exp.run_stationary_sweep(
+        schemes=("pbe", "bbr", "cubic", "verus", "copa"),
+        n_busy=8, n_idle=5, duration_s=10.0)
+    print(exp.table1_from_sweep(sweep).format())
+    print()
+    print(exp.fig12_from_sweep(sweep).format())
+    print()
+    print(exp.fig15_from_sweep(sweep).format())
+
+    section("Figure 2: carrier activation/deactivation")
+    print(exp.run_fig02().format())
+
+    section("Figure 6: overhead and TBLER")
+    print(exp.run_fig06().format())
+
+    section("Figure 7: active-user filtering")
+    print(exp.run_fig07(duration_s=20.0).format())
+
+    section("Figure 8: retransmission delay quantization")
+    print(exp.run_fig08().format())
+
+    section("Figure 11: cell-status micro-benchmark")
+    print(exp.run_fig11().format())
+
+    section("Figures 13-14: six-location drill-down")
+    print(exp.run_fig13_14(duration_s=8.0).format())
+
+    section("Figures 16-17: mobility")
+    print(exp.run_fig16_17(duration_s=24.0, interval_s=1.2).format())
+
+    section("Figures 18-19: controlled competition")
+    print(exp.run_fig18_19(duration_s=24.0).format())
+
+    section("Figure 20: two connections, one device")
+    print(exp.run_fig20(duration_s=10.0).format())
+
+    section("Figure 21: fairness")
+    print(exp.run_fig21(time_scale=0.34).format())
+
+    section("Ablations")
+    print(exp.run_ablation(duration_s=8.0).format())
+
+    print(f"\ntotal wall time: {time.time() - t0:.0f} s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

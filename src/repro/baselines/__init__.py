@@ -1,0 +1,39 @@
+"""Baseline congestion-control algorithms (the paper's comparison set).
+
+Every scheme plugs into the shared :class:`~repro.baselines.base.Sender`
+endpoint machinery as a :class:`CongestionControl` strategy:
+BBR and CUBIC (deployed kernels), Verus and Sprout (cellular-specific),
+Copa, PCC Allegro and PCC Vivace (recent research), plus Reno.
+"""
+
+from .base import (
+    DUPACK_THRESHOLD,
+    AckContext,
+    AckingReceiver,
+    CongestionControl,
+    Sender,
+)
+from .bbr import (
+    PROBE_BW,
+    PROBE_BW_GAINS,
+    PROBE_RTT,
+    STARTUP,
+    STARTUP_GAIN,
+    Bbr,
+)
+from .copa import Copa
+from .cubic import Cubic, Reno
+from .fixedrate import FixedRate
+from .pcc import PccAllegro, PccVivace
+from .sprout import Sprout
+from .vegas import Vegas
+from .verus import Verus
+from .windowed import WindowedMax, WindowedMin
+
+__all__ = [
+    "AckContext", "AckingReceiver", "Bbr", "CongestionControl", "Copa",
+    "Cubic", "DUPACK_THRESHOLD", "FixedRate", "PROBE_BW", "PROBE_BW_GAINS",
+    "PROBE_RTT",
+    "PccAllegro", "PccVivace", "Reno", "STARTUP", "STARTUP_GAIN", "Sender",
+    "Sprout", "Vegas", "Verus", "WindowedMax", "WindowedMin",
+]

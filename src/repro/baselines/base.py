@@ -1,0 +1,316 @@
+"""Transport endpoint framework shared by every congestion controller.
+
+:class:`Sender` is the machinery common to all schemes — packet
+pacing, window enforcement, per-ACK delivery-rate samples (BBR-style),
+RTT estimation, duplicate-ACK loss detection and retransmission
+timeouts.  A scheme plugs in as a :class:`CongestionControl` strategy
+object deciding the pacing rate and congestion window.
+
+The receiver side (:class:`AckingReceiver`) acknowledges every data
+packet; PBE-CC's mobile client subclasses it to attach capacity
+feedback to each ACK.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..net.flow import FlowStats
+from ..net.link import Receiver
+from ..net.packet import Packet
+from ..net.sim import Event, Simulator
+from ..net.units import MSS_BITS, US_PER_S
+
+#: Duplicate-ACK threshold for loss detection.
+DUPACK_THRESHOLD = 3
+#: Lower bound on the retransmission timeout, µs.
+MIN_RTO_US = 200_000
+
+
+@dataclass
+class AckContext:
+    """Everything a congestion controller learns from one ACK."""
+
+    ack: Packet
+    now_us: int
+    rtt_us: int
+    #: BBR-style delivery-rate sample, bits/s (0 when not computable).
+    delivery_rate_bps: float
+    #: Bits newly acknowledged by this ACK.
+    newly_acked_bits: int
+    #: Bits still in flight after processing this ACK.
+    inflight_bits: int
+    #: Whether the rate sample was taken while application-limited.
+    app_limited: bool
+
+
+class CongestionControl:
+    """Strategy interface implemented by every scheme."""
+
+    #: Human-readable scheme name (used by the harness).
+    name = "base"
+
+    def on_ack(self, ctx: AckContext) -> None:
+        """Process one acknowledgement."""
+
+    def on_send(self, packet: Packet) -> None:
+        """Hook invoked for every transmitted packet (may tag metadata)."""
+
+    def on_loss(self, now_us: int, lost_bits: int,
+                inflight_bits: int) -> None:
+        """React to packets declared lost (duplicate-ACK detection)."""
+
+    def on_timeout(self, now_us: int) -> None:
+        """React to a retransmission timeout (all inflight lost)."""
+
+    def pacing_rate_bps(self, now_us: int) -> float:
+        """Current send rate.  Return 0 to stop sending temporarily."""
+        raise NotImplementedError
+
+    def cwnd_bits(self, now_us: int) -> Optional[float]:
+        """Inflight cap in bits, or ``None`` for rate-only control."""
+        return None
+
+
+class Sender(Receiver):
+    """A server-side endpoint pushing one flow through the network."""
+
+    #: Pacing poll interval while the controller reports a zero rate.
+    _IDLE_POLL_US = 1_000
+
+    def __init__(self, sim: Simulator, flow_id: int, cc: CongestionControl,
+                 egress: Receiver, mss_bits: int = MSS_BITS,
+                 app_rate_bps: Optional[float] = None) -> None:
+        """``app_rate_bps`` caps the send rate below what congestion
+        control allows, modelling an application-limited source (e.g. a
+        fixed-bitrate video).  Packets sent while the application cap
+        binds are marked ``app_limited`` so rate estimators (BBR's
+        BtlBw filter) ignore their delivery samples."""
+        if app_rate_bps is not None and app_rate_bps <= 0:
+            raise ValueError("app rate must be positive")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.cc = cc
+        self.egress = egress
+        self.mss_bits = mss_bits
+        self.app_rate_bps = app_rate_bps
+
+        self.next_seq = 0
+        self.inflight_bits = 0
+        self._outstanding: dict[int, tuple[int, int]] = {}  # seq: (bits, t)
+        self._send_order: deque[int] = deque()
+        self.highest_acked = -1
+
+        self.delivered_bits = 0
+        self.delivered_time_us = 0
+        self.srtt_us = 0
+        self.min_rtt_us: Optional[int] = None
+
+        self.sent_packets = 0
+        self.acked_packets = 0
+        self.lost_packets = 0
+        self.timeouts = 0
+
+        self._running = False
+        self._pace_event: Optional[Event] = None
+        #: True while the pacing gap after a transmit is pending; False
+        #: while blocked (window-limited / zero rate), so ACK clocking
+        #: can resume sending immediately without breaking pacing.
+        self._pacing_active = False
+        self._rto_event: Optional[Event] = None
+        #: Hook: called with each ACK after CC processing (telemetry).
+        self.on_ack_hook: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin sending (full-buffer source)."""
+        if self._running:
+            raise RuntimeError("sender already running")
+        self._running = True
+        self._schedule_pacing(0)
+
+    def stop(self) -> None:
+        """Stop sending; in-flight packets drain naturally."""
+        self._running = False
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _schedule_pacing(self, delay_us: int) -> None:
+        if not self._running:
+            return
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+        self._pace_event = self.sim.schedule(delay_us, self._pace)
+
+    def _pace(self) -> None:
+        self._pace_event = None
+        if not self._running:
+            return
+        now = self.sim.now
+        rate = self.cc.pacing_rate_bps(now)
+        app_limited = (self.app_rate_bps is not None
+                       and self.app_rate_bps < rate)
+        if app_limited:
+            rate = self.app_rate_bps
+        if rate <= 0:
+            self._pacing_active = False
+            self._schedule_pacing(self._IDLE_POLL_US)
+            return
+        cwnd = self.cc.cwnd_bits(now)
+        if cwnd is not None and self.inflight_bits + self.mss_bits > cwnd:
+            # Window-limited: ACKs re-arm sending instantly.
+            self._pacing_active = False
+            self._schedule_pacing(self._IDLE_POLL_US)
+            return
+        self._transmit(app_limited=app_limited)
+        gap_us = max(1, round(self.mss_bits * US_PER_S / rate))
+        self._pacing_active = True
+        self._schedule_pacing(gap_us)
+
+    def _transmit(self, app_limited: bool = False) -> None:
+        now = self.sim.now
+        packet = Packet(self.flow_id, self.next_seq, self.mss_bits,
+                        sent_time_us=now)
+        packet.app_limited = app_limited
+        packet.delivered_at_send = self.delivered_bits
+        packet.delivered_time_at_send = self.delivered_time_us or now
+        self.next_seq += 1
+        self._outstanding[packet.seq] = (packet.size_bits, now)
+        self._send_order.append(packet.seq)
+        self.inflight_bits += packet.size_bits
+        self.sent_packets += 1
+        self.cc.on_send(packet)
+        self._arm_rto()
+        self.egress.receive(packet)
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_ack or packet.flow_id != self.flow_id:
+            return
+        now = self.sim.now
+        entry = self._outstanding.pop(packet.acked_seq, None)
+        if entry is None:
+            return  # spurious/duplicate ACK
+        bits, _sent = entry
+        self.inflight_bits -= bits
+        self.acked_packets += 1
+        self.highest_acked = max(self.highest_acked, packet.acked_seq)
+
+        rtt = now - packet.sent_time_us
+        if rtt > 0:
+            self.srtt_us = (rtt if self.srtt_us == 0
+                            else round(0.875 * self.srtt_us + 0.125 * rtt))
+            if self.min_rtt_us is None or rtt < self.min_rtt_us:
+                self.min_rtt_us = rtt
+
+        self.delivered_bits += bits
+        self.delivered_time_us = now
+        interval = now - packet.delivered_time_at_send
+        if interval > 0:
+            rate = ((self.delivered_bits - packet.delivered_at_send)
+                    * US_PER_S / interval)
+        else:
+            rate = 0.0
+
+        self._detect_losses()
+        ctx = AckContext(ack=packet, now_us=now, rtt_us=rtt,
+                         delivery_rate_bps=rate, newly_acked_bits=bits,
+                         inflight_bits=self.inflight_bits,
+                         app_limited=packet.app_limited)
+        self.cc.on_ack(ctx)
+        if self.on_ack_hook is not None:
+            self.on_ack_hook(packet)
+        self._arm_rto()
+        # ACK clocking: if sending was blocked (window-limited or idle),
+        # resume immediately.  Never disturb an in-progress pacing gap.
+        if self._running and not self._pacing_active:
+            self._schedule_pacing(0)
+
+    def _detect_losses(self) -> None:
+        """Declare head-of-line packets lost once enough later ACKs."""
+        lost_bits = 0
+        while self._send_order:
+            seq = self._send_order[0]
+            if seq not in self._outstanding:
+                self._send_order.popleft()
+                continue
+            if self.highest_acked - seq >= DUPACK_THRESHOLD:
+                bits, _ = self._outstanding.pop(seq)
+                self._send_order.popleft()
+                self.inflight_bits -= bits
+                self.lost_packets += 1
+                lost_bits += bits
+            else:
+                break
+        if lost_bits:
+            self.cc.on_loss(self.sim.now, lost_bits, self.inflight_bits)
+
+    # ------------------------------------------------------------------
+    # Timeout handling
+    # ------------------------------------------------------------------
+    def _rto_us(self) -> int:
+        if self.srtt_us == 0:
+            return MIN_RTO_US
+        return max(MIN_RTO_US, 4 * self.srtt_us)
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if not self._outstanding or not self._running:
+            return
+        self._rto_event = self.sim.schedule(self._rto_us(), self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._outstanding:
+            return
+        self.timeouts += 1
+        self.lost_packets += len(self._outstanding)
+        self._outstanding.clear()
+        self._send_order.clear()
+        self.inflight_bits = 0
+        self.cc.on_timeout(self.sim.now)
+        if self._running:
+            self._schedule_pacing(0)
+
+
+class AckingReceiver(Receiver):
+    """Client-side endpoint: log deliveries and ACK every packet."""
+
+    def __init__(self, sim: Simulator, flow_id: int, uplink: Receiver)\
+            -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.uplink = uplink
+        self.stats = FlowStats(flow_id)
+
+    def feedback_for(self, packet: Packet) -> Optional[Any]:
+        """Override point: feedback object to ride on this packet's ACK."""
+        return None
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_ack or packet.flow_id != self.flow_id:
+            return
+        now = self.sim.now
+        delay = now - packet.sent_time_us
+        self.stats.record(now, packet.size_bits, delay)
+        ack = packet.make_ack(now, feedback=self.feedback_for(packet))
+        self.uplink.receive(ack)

@@ -1,0 +1,221 @@
+"""TCP BBR (v1) congestion control [Cardwell et al., ACM Queue 2016].
+
+The strongest baseline in the paper's evaluation, and the skeleton that
+PBE-CC's Internet-bottleneck mode adapts (§4.2.3).  This implementation
+follows the BBR v1 state machine: STARTUP (2/ln2 pacing gain, exit when
+the bottleneck-bandwidth filter plateaus for three rounds), DRAIN,
+PROBE_BW (the eight-phase gain cycle of the paper's Figure 9, each
+phase one RTprop long) and PROBE_RTT (cwnd of four packets for 200 ms
+every 10 s).
+
+``probe_rate_cap`` is the one extension point PBE-CC uses: a callable
+returning an upper bound on the probing rate, implementing the paper's
+``Cprobe = min(1.25·BtlBw, Cf)`` (Eqn. 7).  For plain BBR it is None.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..net.units import MSS_BITS, US_PER_S
+from .base import AckContext, CongestionControl
+from .windowed import WindowedMax, WindowedMin
+
+#: 2/ln2 — BBR's startup pacing/cwnd gain.
+STARTUP_GAIN = 2.0 / math.log(2.0)
+#: ProbeBW pacing-gain cycle (paper Figure 9).
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+#: BtlBw max-filter window, in round trips.
+BTLBW_FILTER_ROUNDS = 10
+#: RTprop min-filter window, µs.
+RTPROP_WINDOW_US = 10 * US_PER_S
+#: PROBE_RTT duration, µs.
+PROBE_RTT_DURATION_US = 200_000
+#: cwnd gain outside PROBE_RTT.
+CWND_GAIN = 2.0
+
+STARTUP, DRAIN, PROBE_BW, PROBE_RTT = "startup", "drain", "probe_bw", \
+    "probe_rtt"
+
+
+class Bbr(CongestionControl):
+    """BBR v1 over the shared :class:`~repro.baselines.base.Sender`."""
+
+    name = "bbr"
+
+    def __init__(self, initial_rate_bps: float = 2.4e6,
+                 mss_bits: int = MSS_BITS,
+                 probe_rate_cap: Optional[Callable[[], Optional[float]]]
+                 = None) -> None:
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        self.mss_bits = mss_bits
+        self.initial_rate_bps = initial_rate_bps
+        self.probe_rate_cap = probe_rate_cap
+
+        self.state = STARTUP
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+
+        self._btlbw = WindowedMax(US_PER_S)  # window retuned per RTT
+        self._rtprop = WindowedMin(RTPROP_WINDOW_US)
+        self._rtprop_stamp = 0
+
+        self._round_start_delivered = 0
+        self._delivered_bits = 0
+        self._round_count = 0
+
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.filled_pipe = False
+
+        self._cycle_index = 0
+        self._cycle_stamp = 0
+        self._probe_rtt_done_at: Optional[int] = None
+        self._probe_rtt_round_done = False
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    @property
+    def btlbw_bps(self) -> float:
+        return self._btlbw.get() or 0.0
+
+    @property
+    def rtprop_us(self) -> int:
+        value = self._rtprop.get()
+        return int(value) if value else 0
+
+    def bdp_bits(self, gain: float = 1.0) -> float:
+        if not self.btlbw_bps or not self.rtprop_us:
+            return gain * 10 * self.mss_bits
+        return gain * self.btlbw_bps * self.rtprop_us / US_PER_S
+
+    # ------------------------------------------------------------------
+    # ACK processing / state machine
+    # ------------------------------------------------------------------
+    def on_ack(self, ctx: AckContext) -> None:
+        now = ctx.now_us
+        self._delivered_bits += ctx.newly_acked_bits
+
+        if ctx.rtt_us > 0:
+            previous_min = self._rtprop.get()
+            self._rtprop.update(now, ctx.rtt_us)
+            # The staleness stamp refreshes only when the minimum itself
+            # is refreshed — otherwise PROBE_RTT could never trigger.
+            if previous_min is None or ctx.rtt_us <= previous_min:
+                self._rtprop_stamp = now
+        rtprop = max(self.rtprop_us, 1_000)
+        self._btlbw.window_us = BTLBW_FILTER_ROUNDS * rtprop
+        if ctx.delivery_rate_bps > 0 and not ctx.app_limited:
+            self._btlbw.update(now, ctx.delivery_rate_bps)
+
+        # Round accounting: one round per RTprop worth of delivered data.
+        round_ended = (self._delivered_bits - self._round_start_delivered
+                       >= self.bdp_bits())
+        if round_ended:
+            self._round_start_delivered = self._delivered_bits
+            self._round_count += 1
+            self._check_full_pipe()
+
+        if self.state == STARTUP and self.filled_pipe:
+            self._enter_drain()
+        if self.state == DRAIN and ctx.inflight_bits <= self.bdp_bits():
+            self._enter_probe_bw(now)
+        if self.state == PROBE_BW:
+            self._advance_cycle(now, ctx.inflight_bits)
+        self._maybe_enter_probe_rtt(now, ctx.inflight_bits)
+        if self.state == PROBE_RTT:
+            self._run_probe_rtt(now, ctx.inflight_bits, round_ended)
+
+    def _check_full_pipe(self) -> None:
+        if self.filled_pipe or self.state != STARTUP:
+            return
+        if self.btlbw_bps >= self._full_bw * 1.25:
+            self._full_bw = self.btlbw_bps
+            self._full_bw_rounds = 0
+            return
+        self._full_bw_rounds += 1
+        if self._full_bw_rounds >= 3:
+            self.filled_pipe = True
+
+    def _enter_drain(self) -> None:
+        self.state = DRAIN
+        self.pacing_gain = 1.0 / STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+
+    def enter_probe_bw(self, now_us: int) -> None:
+        """Jump straight into PROBE_BW (used by PBE-CC's §4.2.3 entry)."""
+        self._enter_probe_bw(now_us)
+
+    def _enter_probe_bw(self, now_us: int) -> None:
+        self.state = PROBE_BW
+        self.cwnd_gain = CWND_GAIN
+        self._cycle_index = 2  # start in a cruise phase
+        self._cycle_stamp = now_us
+        self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+
+    def _advance_cycle(self, now_us: int, inflight_bits: int) -> None:
+        rtprop = max(self.rtprop_us, 1_000)
+        if now_us - self._cycle_stamp < rtprop:
+            return
+        # Hold the drain phase until the probe's queue actually drains.
+        if (self.pacing_gain < 1.0 and inflight_bits > self.bdp_bits()):
+            return
+        self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+        self._cycle_stamp = now_us
+        self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+
+    def _maybe_enter_probe_rtt(self, now_us: int,
+                               inflight_bits: int) -> None:
+        if self.state == PROBE_RTT or not self.rtprop_us:
+            return
+        if now_us - self._rtprop_stamp <= RTPROP_WINDOW_US:
+            return
+        self.state = PROBE_RTT
+        self.pacing_gain = 1.0
+        self._probe_rtt_done_at = None
+
+    def _run_probe_rtt(self, now_us: int, inflight_bits: int,
+                       round_ended: bool) -> None:
+        if (self._probe_rtt_done_at is None
+                and inflight_bits <= 4 * self.mss_bits):
+            self._probe_rtt_done_at = now_us + PROBE_RTT_DURATION_US
+        if (self._probe_rtt_done_at is not None
+                and now_us >= self._probe_rtt_done_at):
+            self._rtprop_stamp = now_us
+            if self.filled_pipe:
+                self._enter_probe_bw(now_us)
+            else:
+                self.state = STARTUP
+                self.pacing_gain = STARTUP_GAIN
+                self.cwnd_gain = STARTUP_GAIN
+
+    def on_timeout(self, now_us: int) -> None:
+        # Fall back to startup with a clean bandwidth estimate.
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.filled_pipe = False
+        self.state = STARTUP
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+
+    # ------------------------------------------------------------------
+    # Control outputs
+    # ------------------------------------------------------------------
+    def pacing_rate_bps(self, now_us: int) -> float:
+        if not self.btlbw_bps:
+            return self.initial_rate_bps
+        rate = self.pacing_gain * self.btlbw_bps
+        if (self.state == PROBE_BW and self.pacing_gain > 1.0
+                and self.probe_rate_cap is not None):
+            cap = self.probe_rate_cap()
+            if cap is not None:
+                rate = min(rate, max(cap, self.btlbw_bps))
+        return rate
+
+    def cwnd_bits(self, now_us: int) -> Optional[float]:
+        if self.state == PROBE_RTT:
+            return 4.0 * self.mss_bits
+        return max(4.0 * self.mss_bits, self.bdp_bits(self.cwnd_gain))

@@ -1,0 +1,81 @@
+"""TCP Vegas [Brakmo, O'Malley, Peterson — SIGCOMM 1994].
+
+The classic delay-based controller the paper's §2 cites as the root of
+the delay-based family: compare the *expected* rate (cwnd/BaseRTT)
+with the *actual* rate (cwnd/RTT); if the difference says fewer than
+``alpha`` packets are queued, grow the window, if more than ``beta``,
+shrink it.  On cellular paths Vegas inherits the same ACK-jitter
+sensitivity as its descendants (Copa, Verus): HARQ and uplink batching
+inflate RTT samples, so Vegas backs off well below capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.units import MSS_BITS, US_PER_S
+from .base import AckContext, CongestionControl
+from .windowed import WindowedMin
+
+#: Vegas thresholds, in packets of queueing the flow aims to keep.
+ALPHA = 2.0
+BETA = 4.0
+#: BaseRTT min-filter window, µs.
+BASE_RTT_WINDOW_US = 30 * US_PER_S
+
+
+class Vegas(CongestionControl):
+    """Vegas congestion avoidance with slow start."""
+
+    name = "vegas"
+
+    def __init__(self, mss_bits: int = MSS_BITS) -> None:
+        self.mss_bits = mss_bits
+        self.cwnd = 4.0  # packets
+        self._base_rtt = WindowedMin(BASE_RTT_WINDOW_US)
+        self._srtt_us = 100_000
+        self._in_slow_start = True
+        self._round_start_us = 0
+        self._rtt_this_round: Optional[int] = None
+
+    def on_ack(self, ctx: AckContext) -> None:
+        if ctx.rtt_us <= 0:
+            return
+        now = ctx.now_us
+        self._srtt_us = round(0.875 * self._srtt_us + 0.125 * ctx.rtt_us)
+        self._base_rtt.update(now, ctx.rtt_us)
+        self._rtt_this_round = ctx.rtt_us
+        # One window adjustment per RTT.
+        if now - self._round_start_us < self._srtt_us:
+            return
+        self._round_start_us = now
+        base = self._base_rtt.get() or ctx.rtt_us
+        expected_pps = self.cwnd * US_PER_S / base
+        actual_pps = self.cwnd * US_PER_S / ctx.rtt_us
+        diff_packets = (expected_pps - actual_pps) * base / US_PER_S
+        if self._in_slow_start:
+            if diff_packets > ALPHA:
+                self._in_slow_start = False
+                self.cwnd = max(2.0, self.cwnd - 1.0)
+            else:
+                self.cwnd *= 2.0
+            return
+        if diff_packets < ALPHA:
+            self.cwnd += 1.0
+        elif diff_packets > BETA:
+            self.cwnd = max(2.0, self.cwnd - 1.0)
+
+    def on_loss(self, now_us: int, lost_bits: int,
+                inflight_bits: int) -> None:
+        self.cwnd = max(2.0, self.cwnd * 0.75)
+        self._in_slow_start = False
+
+    def on_timeout(self, now_us: int) -> None:
+        self.cwnd = 2.0
+        self._in_slow_start = False
+
+    def pacing_rate_bps(self, now_us: int) -> float:
+        return 2.0 * self.cwnd * self.mss_bits * US_PER_S / self._srtt_us
+
+    def cwnd_bits(self, now_us: int) -> Optional[float]:
+        return self.cwnd * self.mss_bits

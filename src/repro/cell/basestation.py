@@ -1,0 +1,466 @@
+"""The cellular network: cells, users, scheduling, HARQ and CA.
+
+:class:`CellularNetwork` is the MAC-layer heart of the reproduction.
+Once per subframe (1 ms) it runs, for every component carrier:
+
+1. HARQ retransmissions due this subframe (8 ms after failure, §3);
+2. control-plane parameter-update bursts (Figure 7 population);
+3. equal-share water-filling PRB allocation over backlogged data users;
+4. transport-block assembly, error drawing and delivery to the UE;
+5. emission of the subframe's decoded control channel (DCI records) to
+   any attached monitors — the stream PBE-CC's measurement module
+   consumes;
+6. the carrier-aggregation manager's per-user activation decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..net.link import Receiver
+from ..net.packet import Packet
+from ..net.sim import Simulator
+from ..net.units import SUBFRAME_US
+from ..phy.carrier import AggregationState, CarrierConfig
+from ..phy.channel import ChannelModel
+from ..phy.dci import DciMessage, SubframeRecord
+from ..phy.error import block_error_rate, retransmission_ber, sinr_to_ber
+from ..phy.harq import MAX_RETRANSMISSIONS, RETX_DELAY_SUBFRAMES
+from ..phy.mcs import MAX_MCS_INDEX, bits_per_prb, sinr_to_mcs
+from .ca_manager import CaPolicy, CarrierAggregationManager
+from .control_traffic import ControlTrafficGenerator
+from .queues import PROTOCOL_OVERHEAD, DownlinkQueue, TransportBlock
+from .scheduler import (
+    DemandEntry,
+    ProportionalFairState,
+    allocate_prbs,
+)
+from .ue import UserEquipment
+
+#: SINR above which a UE uses its full spatial-stream count.
+MIMO_SINR_THRESHOLD_DB = 10.0
+#: Control-plane bursts use the most robust MCS.
+CONTROL_MCS = 4
+
+
+@dataclass
+class UeCategory:
+    """Hardware capabilities of a phone model."""
+
+    max_mcs: int = MAX_MCS_INDEX
+    max_streams: int = 2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_mcs <= MAX_MCS_INDEX:
+            raise ValueError("max_mcs out of range")
+        if not 1 <= self.max_streams <= 4:
+            raise ValueError("max_streams out of range")
+
+
+@dataclass
+class _HarqState:
+    tb: TransportBlock
+    base_ber: float
+    attempt: int = 0
+
+
+class DemandSource:
+    """Optional per-subframe synthetic demand (exogenous/background users).
+
+    ``bits(subframe)`` returns how many bits arrive into the user's
+    downlink queue at the start of that subframe.
+    """
+
+    def bits(self, subframe: int) -> int:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class _User:
+    """Internal per-user state inside the network."""
+
+    __slots__ = (
+        "rnti", "agg", "channel", "category", "queue", "ue", "tb_seq",
+        "demand_source", "sinr_db", "current_mcs", "current_streams",
+        "allocated_history", "exo_packet_seq", "suspended_until",
+        "_sinr_history",
+    )
+
+    def __init__(self, rnti: int, agg: AggregationState,
+                 channel: ChannelModel, category: UeCategory,
+                 queue: DownlinkQueue, ue: Optional[UserEquipment]) -> None:
+        self.rnti = rnti
+        self.agg = agg
+        self.channel = channel
+        self.category = category
+        self.queue = queue
+        self.ue = ue
+        self.tb_seq = 0
+        self.demand_source: Optional[DemandSource] = None
+        self.sinr_db = 0.0
+        self.current_mcs = 0
+        self.current_streams = 1
+        #: Optional per-subframe ``(subframe, cell_id, prbs)`` log.
+        self.allocated_history: Optional[list] = None
+        self.exo_packet_seq = 0
+        #: Scheduling suspended until this subframe (handover gap).
+        self.suspended_until = -1
+        #: Recent SINR samples for CQI-reporting delay (newest last).
+        self._sinr_history: list[float] = []
+
+    def refresh_channel(self, now_us: int,
+                        cqi_delay_subframes: int = 0) -> None:
+        """Sample the channel; pick MCS from the (possibly stale) CQI.
+
+        With ``cqi_delay_subframes > 0`` the link adaptation uses the
+        SINR the UE reported that many subframes ago — the real
+        CQI-reporting loop — while transport-block errors are always
+        drawn at the *current* channel, so fast fades genuinely hurt.
+        """
+        self.sinr_db = self.channel.sinr_db(now_us)
+        if cqi_delay_subframes > 0:
+            self._sinr_history.append(self.sinr_db)
+            if len(self._sinr_history) > cqi_delay_subframes + 1:
+                self._sinr_history.pop(0)
+            reported = self._sinr_history[0]
+        else:
+            reported = self.sinr_db
+        self.current_mcs = sinr_to_mcs(reported, self.category.max_mcs)
+        if reported >= MIMO_SINR_THRESHOLD_DB:
+            self.current_streams = self.category.max_streams
+        else:
+            self.current_streams = 1
+
+    @property
+    def bits_per_prb_now(self) -> int:
+        return bits_per_prb(self.current_mcs, self.current_streams)
+
+
+class _Ingress(Receiver):
+    """Adapter: wired-network packets land in one user's downlink queue."""
+
+    def __init__(self, network: "CellularNetwork", rnti: int) -> None:
+        self.network = network
+        self.rnti = rnti
+
+    def receive(self, packet: Packet) -> None:
+        self.network.enqueue(self.rnti, packet)
+
+
+class CellularNetwork:
+    """All cells of one operator around the measurement location."""
+
+    def __init__(self, sim: Simulator, carriers: list[CarrierConfig],
+                 ca_policy: Optional[CaPolicy] = None,
+                 control_arrivals_per_subframe: float = 0.0,
+                 scheduler_policy: str = "equal",
+                 cqi_delay_subframes: int = 0,
+                 seed: int = 0) -> None:
+        if cqi_delay_subframes < 0:
+            raise ValueError("CQI delay must be non-negative")
+        if not carriers:
+            raise ValueError("need at least one carrier")
+        ids = [c.cell_id for c in carriers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate cell ids")
+        self.sim = sim
+        self.scheduler_policy = scheduler_policy
+        self.cqi_delay_subframes = cqi_delay_subframes
+        self.carriers = {c.cell_id: c for c in carriers}
+        self.ca = CarrierAggregationManager(ca_policy)
+        self._rng = np.random.default_rng(seed)
+        self._users: dict[int, _User] = {}
+        self.subframe = 0
+        self._retx: dict[tuple[int, int], list[_HarqState]] = {}
+        self._monitors: dict[int, list[Callable[[SubframeRecord], None]]] = {
+            c: [] for c in self.carriers}
+        self._control = {
+            cell_id: ControlTrafficGenerator(
+                control_arrivals_per_subframe, seed=seed + 17 * cell_id)
+            for cell_id in self.carriers}
+        self._pf: dict[int, ProportionalFairState] = {}
+        if scheduler_policy == "proportional_fair":
+            self._pf = {cell_id: ProportionalFairState()
+                        for cell_id in self.carriers}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_user(self, rnti: int, cells: list[int], channel: ChannelModel,
+                 category: Optional[UeCategory] = None,
+                 on_packet: Optional[Callable[[Packet], None]] = None,
+                 queue_packets: int = 3000,
+                 log_allocations: bool = False) -> UserEquipment:
+        """Attach a full transport endpoint user; returns its UE object."""
+        ue = UserEquipment(self.sim, rnti, on_packet)
+        user = self._make_user(rnti, cells, channel, category,
+                               queue_packets, ue)
+        if log_allocations:
+            user.allocated_history = []
+        return ue
+
+    def add_exogenous_user(self, rnti: int, cells: list[int],
+                           channel: ChannelModel,
+                           demand: DemandSource,
+                           category: Optional[UeCategory] = None,
+                           queue_packets: int = 3000) -> None:
+        """Attach a background user whose demand is generated at the MAC.
+
+        Its delivered transport blocks are discarded — only its PRB
+        footprint matters (competing traffic, Figure 18/19).
+        """
+        user = self._make_user(rnti, cells, channel, category,
+                               queue_packets, ue=None)
+        user.demand_source = demand
+
+    def _make_user(self, rnti: int, cells: list[int],
+                   channel: ChannelModel, category: Optional[UeCategory],
+                   queue_packets: int, ue: Optional[UserEquipment]) -> _User:
+        if rnti in self._users:
+            raise ValueError(f"duplicate RNTI {rnti}")
+        for cell in cells:
+            if cell not in self.carriers:
+                raise ValueError(f"unknown cell {cell}")
+        user = _User(rnti, AggregationState(configured=list(cells)),
+                     channel, category or UeCategory(),
+                     DownlinkQueue(queue_packets), ue)
+        self._users[rnti] = user
+        return user
+
+    def remove_user(self, rnti: int) -> None:
+        """Detach a user (its queued traffic is discarded)."""
+        self._users.pop(rnti, None)
+
+    #: Default handover interruption (scheduling gap), subframes.  LTE
+    #: X2 handovers typically interrupt the user plane for 30-50 ms.
+    HANDOVER_GAP_SUBFRAMES = 40
+
+    def handover(self, rnti: int, new_cells: list[int],
+                 interruption_subframes: int = HANDOVER_GAP_SUBFRAMES,
+                 channel: Optional[ChannelModel] = None) -> None:
+        """Move a user to a new (primary-first) cell list (§1).
+
+        Models an X2-style handover with data forwarding: the user's
+        downlink queue survives, but scheduling pauses for the
+        interruption gap, carrier aggregation restarts from the new
+        primary alone, and HARQ processes pending on cells the user is
+        leaving are abandoned (their transport blocks are lost — the
+        transport layer recovers them end to end).
+        """
+        if interruption_subframes < 0:
+            raise ValueError("interruption must be non-negative")
+        user = self._users.get(rnti)
+        if user is None:
+            raise ValueError(f"unknown RNTI {rnti}")
+        for cell in new_cells:
+            if cell not in self.carriers:
+                raise ValueError(f"unknown cell {cell}")
+
+        # Abandon HARQ processes stranded on cells being left.
+        keeping = set(new_cells)
+        for key in list(self._retx):
+            cell_id, _subframe = key
+            if cell_id in keeping:
+                continue
+            kept = []
+            for harq in self._retx[key]:
+                if harq.tb.rnti == rnti:
+                    if user.ue is not None:
+                        self.sim.schedule(0, user.ue.abandon_tb, harq.tb)
+                else:
+                    kept.append(harq)
+            if kept:
+                self._retx[key] = kept
+            else:
+                del self._retx[key]
+
+        user.agg = AggregationState(configured=list(new_cells))
+        user.suspended_until = self.subframe + interruption_subframes
+        if channel is not None:
+            user.channel = channel
+        # The new cell group starts its CA bookkeeping from scratch.
+        self.ca._users.pop(rnti, None)
+
+    def ingress(self, rnti: int) -> Receiver:
+        """Wired-side entry point delivering into one user's queue.
+
+        The RNTI is resolved at packet-arrival time, so the ingress can
+        be wired up before :meth:`add_user` attaches the user (traffic
+        for unknown/departed users is silently dropped, like a network
+        routing to a detached device).
+        """
+        return _Ingress(self, rnti)
+
+    def attach_monitor(self, cell_id: int,
+                       callback: Callable[[SubframeRecord], None]) -> None:
+        """Subscribe a control-channel decoder to one cell."""
+        self._monitors[cell_id].append(callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def user(self, rnti: int) -> _User:
+        return self._users[rnti]
+
+    def aggregation_state(self, rnti: int) -> AggregationState:
+        return self._users[rnti].agg
+
+    def queue_backlog_bits(self, rnti: int) -> int:
+        return self._users[rnti].queue.backlog_bits
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def enqueue(self, rnti: int, packet: Packet) -> None:
+        user = self._users.get(rnti)
+        if user is None:
+            return  # user departed; traffic in flight is dropped
+        user.queue.push(packet)
+
+    # ------------------------------------------------------------------
+    # Subframe engine
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking once per subframe."""
+        if self._started:
+            raise RuntimeError("network already started")
+        self._started = True
+        self.sim.schedule(0, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        subframe = self.subframe
+        users = list(self._users.values())
+        for user in users:
+            user.refresh_channel(now, self.cqi_delay_subframes)
+            if user.demand_source is not None:
+                self._inject_exogenous(user, subframe)
+
+        used_by_user: dict[int, int] = {}
+        for cell_id, carrier in self.carriers.items():
+            self._tick_cell(cell_id, carrier, subframe, used_by_user)
+
+        for user in users:
+            total = sum(self.carriers[c].total_prbs
+                        for c in user.agg.active_cells)
+            self.ca.observe(
+                subframe, user.rnti, user.agg,
+                used_prbs=used_by_user.get(user.rnti, 0),
+                active_total_prbs=total,
+                backlogged=not user.queue.empty)
+
+        self.subframe += 1
+        self.sim.schedule(SUBFRAME_US, self._tick)
+
+    def _inject_exogenous(self, user: _User, subframe: int) -> None:
+        bits = user.demand_source.bits(subframe)
+        while bits > 0:
+            size = min(bits, 12_000)
+            packet = Packet(flow_id=-user.rnti, seq=user.exo_packet_seq,
+                            size_bits=size, sent_time_us=self.sim.now)
+            user.exo_packet_seq += 1
+            user.queue.push(packet)
+            bits -= size
+
+    def _tick_cell(self, cell_id: int, carrier: CarrierConfig,
+                   subframe: int, used_by_user: dict[int, int]) -> None:
+        total_prbs = carrier.total_prbs
+        available = total_prbs
+        record = SubframeRecord(subframe, cell_id, total_prbs)
+
+        # 1. HARQ retransmissions due this subframe.
+        due = self._retx.pop((cell_id, subframe), [])
+        deferred: list[_HarqState] = []
+        for harq in due:
+            if harq.tb.n_prbs > available:
+                deferred.append(harq)
+                continue
+            available -= harq.tb.n_prbs
+            self._transmit(harq, record, used_by_user)
+        if deferred:
+            self._retx.setdefault((cell_id, subframe + 1), []).extend(
+                deferred)
+
+        # 2. Control-plane parameter-update bursts.
+        for burst in self._control[cell_id].tick():
+            grant = min(burst.prbs, available)
+            if grant <= 0:
+                break
+            available -= grant
+            record.messages.append(DciMessage(
+                subframe, cell_id, burst.rnti, grant, CONTROL_MCS, 1,
+                tbs_bits=grant * bits_per_prb(CONTROL_MCS, 1),
+                is_control=True))
+
+        # 3. Equal-share allocation over backlogged data users.
+        demands = []
+        for user in self._users.values():
+            if cell_id not in user.agg.active_cells:
+                continue
+            if user.queue.empty or subframe < user.suspended_until:
+                continue
+            demands.append(DemandEntry(user.rnti, user.queue.backlog_bits,
+                                       user.bits_per_prb_now))
+        grants = allocate_prbs(available, demands, rotation=subframe,
+                               policy=self.scheduler_policy,
+                               pf_state=self._pf.get(cell_id))
+
+        # 4. Transport-block assembly and transmission.
+        served_bits: dict[int, int] = {}
+        for rnti, n_prbs in grants.items():
+            user = self._users[rnti]
+            tb = TransportBlock(
+                seq=user.tb_seq, rnti=rnti, cell_id=cell_id,
+                subframe=subframe,
+                bits=n_prbs * user.bits_per_prb_now, n_prbs=n_prbs,
+                mcs=user.current_mcs,
+                spatial_streams=user.current_streams)
+            user.tb_seq += 1
+            # γ of the TB is protocol headers (Eqn. 5): only the rest
+            # carries transport-layer payload.
+            payload_budget = int(tb.bits * (1.0 - PROTOCOL_OVERHEAD))
+            pulled = user.queue.pull(payload_budget, tb)
+            if pulled:
+                tb.bits = int(pulled / (1.0 - PROTOCOL_OVERHEAD))
+            harq = _HarqState(tb, base_ber=sinr_to_ber(user.sinr_db))
+            served_bits[rnti] = tb.bits
+            self._transmit(harq, record, used_by_user)
+            if user.allocated_history is not None:
+                user.allocated_history.append((subframe, cell_id, n_prbs))
+
+        if cell_id in self._pf:
+            attached = {u.rnti for u in self._users.values()
+                        if cell_id in u.agg.active_cells}
+            self._pf[cell_id].record(served_bits, attached)
+
+        # 5. Publish the decoded control channel.
+        for callback in self._monitors[cell_id]:
+            callback(record)
+
+    def _transmit(self, harq: _HarqState, record: SubframeRecord,
+                  used_by_user: dict[int, int]) -> None:
+        tb = harq.tb
+        user = self._users.get(tb.rnti)
+        record.messages.append(DciMessage(
+            record.subframe, tb.cell_id, tb.rnti, tb.n_prbs, tb.mcs,
+            tb.spatial_streams, tbs_bits=tb.bits,
+            new_data=(harq.attempt == 0)))
+        used_by_user[tb.rnti] = used_by_user.get(tb.rnti, 0) + tb.n_prbs
+        if user is None:
+            return  # user departed mid-HARQ
+
+        ber = retransmission_ber(harq.base_ber, harq.attempt)
+        failed = self._rng.random() < block_error_rate(ber, tb.bits)
+        if not failed:
+            if user.ue is not None:
+                self.sim.schedule(SUBFRAME_US, user.ue.receive_tb, tb)
+            return
+        if harq.attempt < MAX_RETRANSMISSIONS:
+            harq.attempt += 1
+            key = (tb.cell_id, record.subframe + RETX_DELAY_SUBFRAMES)
+            self._retx.setdefault(key, []).append(harq)
+        elif user.ue is not None:
+            self.sim.schedule(SUBFRAME_US, user.ue.abandon_tb, tb)

@@ -1,0 +1,81 @@
+"""Control-plane (parameter-update) user traffic (§4.2.1, Figure 7).
+
+A large share of the users a control-channel monitor detects are not
+exchanging data at all — they receive parameter updates (timer values,
+aggregation lists, pricing/security parameters).  The paper measures
+that 68.2% of detected users occupy exactly four PRBs and are active
+for exactly one subframe, and that filtering on ``Ta > 1, Pa > 4``
+drops the average detected-user count in a 40 ms window from 15.8 to
+1.3.  This module generates that background population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: First RNTI used for synthetic control-plane users (kept far away from
+#: data users so experiments can tell the populations apart).
+CONTROL_RNTI_BASE = 50_000
+
+#: (probability, prbs, subframes) rows calibrated to Figure 7(b)'s
+#: marginals: ~68% of detected users are active for exactly one
+#: subframe and ~48% occupy exactly four PRBs, with a tail of longer /
+#: wider parameter-update exchanges.
+_PROFILE = (
+    (0.44, 4, 1),     # the dominant parameter-update burst
+    (0.10, 2, 1),
+    (0.09, 3, 1),
+    (0.06, 6, 1),
+    (0.03, 8, 1),
+    (0.08, 3, 2),
+    (0.07, 2, 2),
+    (0.06, 4, 3),
+    (0.04, 2, 4),
+    (0.03, 3, 5),
+)
+_PROBS = np.array([row[0] for row in _PROFILE])
+_PROBS = _PROBS / _PROBS.sum()
+
+
+@dataclass
+class ControlBurst:
+    """One parameter-update user's short control-channel appearance."""
+
+    rnti: int
+    prbs: int
+    remaining_subframes: int
+
+
+class ControlTrafficGenerator:
+    """Poisson arrivals of short parameter-update bursts.
+
+    ``arrivals_per_subframe`` calibrates the cell's busyness: ~0.4 gives
+    the paper's busy-tower average of ≈15.8 detected users per 40 ms
+    window, while idle night-time cells sit near 0.02.
+    """
+
+    def __init__(self, arrivals_per_subframe: float = 0.4,
+                 seed: int = 0) -> None:
+        if arrivals_per_subframe < 0:
+            raise ValueError("arrival rate must be non-negative")
+        self.arrivals_per_subframe = arrivals_per_subframe
+        self._rng = np.random.default_rng(seed)
+        self._next_rnti = CONTROL_RNTI_BASE
+        self._active: list[ControlBurst] = []
+
+    def tick(self) -> list[ControlBurst]:
+        """Advance one subframe; return the bursts active this subframe."""
+        n_new = self._rng.poisson(self.arrivals_per_subframe)
+        for _ in range(n_new):
+            row = _PROFILE[self._rng.choice(len(_PROFILE), p=_PROBS)]
+            self._active.append(
+                ControlBurst(self._next_rnti, prbs=row[1],
+                             remaining_subframes=row[2]))
+            self._next_rnti += 1
+        current = list(self._active)
+        for burst in current:
+            burst.remaining_subframes -= 1
+        self._active = [b for b in self._active if b.remaining_subframes > 0]
+        return current

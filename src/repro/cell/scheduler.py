@@ -1,0 +1,145 @@
+"""PRB scheduler: equal-share allocation with water-filling.
+
+The paper observes (and relies on, §4.3/§6.4) that commercial cell
+towers enforce a per-user fairness policy: backlogged users converge to
+equal PRB shares, and a user that does not need its share leaves the
+remainder to others (or idle).  This scheduler reproduces exactly that
+observable behaviour:
+
+1. HARQ retransmissions are served first (they reuse their original
+   allocation size — the 8 ms retransmission rule of §3).
+2. Control-plane (parameter-update) users get their few PRBs next.
+3. Remaining PRBs are split between backlogged data users by
+   water-filling: users whose demand is below the equal share get what
+   they need, and the freed PRBs are re-split among the rest.  A
+   rotating remainder keeps long-run shares exactly equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DemandEntry:
+    """One user's scheduling input for a subframe on one carrier."""
+
+    rnti: int
+    demand_bits: int      #: Queue backlog the user wants served.
+    bits_per_prb: int     #: Physical rate at the user's current MCS.
+
+    @property
+    def demand_prbs(self) -> int:
+        """PRBs needed to drain the whole backlog this subframe."""
+        if self.demand_bits <= 0 or self.bits_per_prb <= 0:
+            return 0
+        return -(-self.demand_bits // self.bits_per_prb)  # ceil division
+
+
+#: Fairness policies (§7 "Fairness policy" discusses swapping these):
+#: ``equal`` splits PRBs evenly between backlogged users (the paper's
+#: observed commercial behaviour); ``equal_rate`` weights shares
+#: inversely to each user's physical rate so everyone gets similar
+#: *throughput* (the §7 example: "active users with lower physical
+#: data rate grab larger bandwidth"); ``proportional_fair`` weights by
+#: instantaneous rate over served-throughput EWMA (the textbook PF
+#: scheduler), which needs the per-cell state in
+#: :class:`ProportionalFairState`.
+POLICIES = ("equal", "equal_rate", "proportional_fair")
+
+
+class ProportionalFairState:
+    """Per-cell served-throughput averages for the PF policy.
+
+    The classic PF metric prioritizes ``r_i(t) / T_i(t)`` — each user's
+    current achievable rate over an exponentially averaged history of
+    served throughput — so users on channel upswings get scheduled and
+    long-starved users age upward in priority.
+    """
+
+    def __init__(self, time_constant_subframes: int = 100) -> None:
+        if time_constant_subframes < 1:
+            raise ValueError("time constant must be positive")
+        self.time_constant = time_constant_subframes
+        #: rnti -> served-throughput EWMA, bits per subframe.
+        self._throughput: dict[int, float] = {}
+
+    def weight(self, demand: "DemandEntry") -> float:
+        served = self._throughput.get(demand.rnti, 0.0)
+        if served <= 0.0:
+            return 1.0  # never served: highest relative priority
+        return demand.bits_per_prb / served
+
+    def record(self, served_bits: dict[int, int],
+               known_rntis: set[int]) -> None:
+        """Fold one subframe's served bits into the averages."""
+        alpha = 1.0 / self.time_constant
+        for rnti in known_rntis | set(served_bits):
+            old = self._throughput.get(rnti, 0.0)
+            self._throughput[rnti] = ((1 - alpha) * old
+                                      + alpha * served_bits.get(rnti, 0))
+
+    def throughput_of(self, rnti: int) -> float:
+        return self._throughput.get(rnti, 0.0)
+
+
+def allocate_prbs(available_prbs: int, demands: list[DemandEntry],
+                  rotation: int = 0,
+                  policy: str = "equal",
+                  pf_state: "ProportionalFairState | None" = None)\
+        -> dict[int, int]:
+    """Water-filling weighted-share PRB allocation.
+
+    Returns ``{rnti: n_prbs}`` for users receiving a non-zero grant.
+    ``rotation`` rotates which users receive the integer-division
+    remainder so per-subframe rounding does not bias long-run shares
+    (callers pass the subframe index).  ``proportional_fair`` requires
+    ``pf_state``.
+    """
+    if available_prbs < 0:
+        raise ValueError("available PRBs must be non-negative")
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+    if policy == "proportional_fair" and pf_state is None:
+        raise ValueError("proportional_fair needs a pf_state")
+    grants: dict[int, int] = {}
+    pending = [d for d in demands if d.demand_prbs > 0]
+    remaining = available_prbs
+
+    def weight(d: DemandEntry) -> float:
+        if policy == "equal":
+            return 1.0
+        if policy == "proportional_fair":
+            return max(1e-9, pf_state.weight(d))
+        # equal_rate: PRB share inversely proportional to per-PRB rate.
+        return 1.0 / max(1, d.bits_per_prb)
+
+    # Water-filling: repeatedly satisfy users below their weighted
+    # share, redistributing what they do not need.
+    while pending and remaining > 0:
+        total_weight = sum(weight(d) for d in pending)
+        satisfied = [
+            d for d in pending
+            if d.demand_prbs <= remaining * weight(d) / total_weight]
+        if not satisfied:
+            break
+        for d in satisfied:
+            grants[d.rnti] = d.demand_prbs
+            remaining -= d.demand_prbs
+        pending = [d for d in pending if d not in satisfied]
+
+    if pending and remaining > 0:
+        total_weight = sum(weight(d) for d in pending)
+        shares = [int(remaining * weight(d) / total_weight)
+                  for d in pending]
+        leftover = remaining - sum(shares)
+        order = sorted(range(len(pending)),
+                       key=lambda i: (i + rotation) % len(pending))
+        for rank, i in enumerate(order):
+            extra = 1 if rank < leftover else 0
+            grant = min(shares[i] + extra, pending[i].demand_prbs)
+            if grant > 0:
+                grants[pending[i].rnti] = grant
+                remaining -= grant
+
+    return grants

@@ -1,0 +1,71 @@
+"""User-equipment (mobile device) receive pipeline.
+
+The UE end of the wireless link: transport blocks arrive from the base
+station, pass through the HARQ reordering buffer (Figure 3 of the
+paper) and, once released in order, their completed transport-layer
+packets are handed to whatever receiver logic is attached (the PBE-CC
+mobile client, a plain ACKing receiver, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.packet import Packet
+from ..net.sim import Simulator
+from ..phy.harq import ReorderingBuffer
+from .queues import TransportBlock
+
+#: Metadata key marking packets that lost a fragment in an abandoned TB.
+CORRUPT_KEY = "harq_corrupt"
+
+
+class UserEquipment:
+    """Receiver-side state for one mobile user."""
+
+    def __init__(self, sim: Simulator, rnti: int,
+                 on_packet: Optional[Callable[[Packet], None]] = None)\
+            -> None:
+        self.sim = sim
+        self.rnti = rnti
+        #: Callback invoked for every in-order, uncorrupted packet.
+        self.on_packet = on_packet
+        self._reorder: ReorderingBuffer[TransportBlock] = ReorderingBuffer()
+        self.delivered_packets = 0
+        self.lost_packets = 0
+        self.delivered_tbs = 0
+        self.abandoned_tbs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def reorder_depth(self) -> int:
+        """Transport blocks currently parked in the reordering buffer."""
+        return self._reorder.held
+
+    # ------------------------------------------------------------------
+    def receive_tb(self, tb: TransportBlock) -> None:
+        """Accept a correctly decoded transport block."""
+        self.delivered_tbs += 1
+        for released in self._reorder.insert(tb.seq, tb):
+            self._release(released)
+
+    def abandon_tb(self, tb: TransportBlock) -> None:
+        """HARQ gave up on ``tb``; unblock the reordering buffer."""
+        self.abandoned_tbs += 1
+        for packet in tb.touches:
+            packet.meta[CORRUPT_KEY] = True
+        self.lost_packets += len(tb.completes)
+        for released in self._reorder.abandon(tb.seq):
+            self._release(released)
+
+    # ------------------------------------------------------------------
+    def _release(self, tb: TransportBlock) -> None:
+        now = self.sim.now
+        for packet in tb.completes:
+            if packet.meta.get(CORRUPT_KEY):
+                self.lost_packets += 1
+                continue
+            packet.recv_time_us = now
+            self.delivered_packets += 1
+            if self.on_packet is not None:
+                self.on_packet(packet)

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        one flow over a configurable cell (scheme, SINR,
+               carriers, busy/idle, duration)
+``compare``    several schemes head-to-head on the same cell
+``experiment`` run one of the paper's table/figure drivers by name
+``list``       list schemes and experiments
+
+Examples
+--------
+    python -m repro run --scheme pbe --sinr 18 --busy --duration 6
+    python -m repro compare --schemes pbe,bbr,cubic --duration 5
+    python -m repro experiment fig02
+    python -m repro experiment table1 --locations 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .harness import Experiment, FlowSpec, Scenario
+from .harness.report import format_table
+from .harness.runner import SCHEMES
+
+#: Experiment-name registry for the ``experiment`` command.
+EXPERIMENTS = ("table1", "fig02", "fig05", "fig06", "fig07", "fig08",
+               "fig11",
+               "fig12", "fig13", "fig15", "fig16", "fig18", "fig20",
+               "fig21", "ablation")
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        name="cli",
+        aggregated_cells=args.carriers,
+        mean_sinr_db=args.sinr,
+        busy=args.busy,
+        background_users=4 if args.busy else 0,
+        internet_rate_bps=args.internet_mbps * 1e6,
+        duration_s=args.duration,
+        seed=args.seed)
+
+
+def _run_one(scenario: Scenario, scheme: str) -> list:
+    experiment = Experiment(scenario)
+    experiment.add_flow(FlowSpec(scheme=scheme))
+    result = experiment.run()[0]
+    s = result.summary
+    return [scheme, s.average_throughput_mbps, s.average_delay_ms,
+            s.p95_delay_ms, result.lost_packets,
+            "yes" if result.ca_activations else "no"]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one flow over the configured cell."""
+    row = _run_one(_build_scenario(args), args.scheme)
+    print(format_table(
+        ["scheme", "tput (Mbit/s)", "avg delay (ms)", "p95 delay (ms)",
+         "lost", "CA"], [row]))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: several schemes on the identical cell."""
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    rows = []
+    for scheme in schemes:
+        print(f"running {scheme}...", file=sys.stderr)
+        rows.append(_run_one(_build_scenario(args), scheme))
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(
+        ["scheme", "tput (Mbit/s)", "avg delay (ms)", "p95 delay (ms)",
+         "lost", "CA"], rows))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment <name>``: run a paper table/figure driver."""
+    from .harness import experiments as exp
+    name = args.name
+    if name == "table1":
+        sweep = exp.run_stationary_sweep(
+            schemes=("pbe", "bbr", "verus", "copa"),
+            n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
+            duration_s=args.duration)
+        print(exp.table1_from_sweep(sweep).format())
+    elif name == "fig12":
+        sweep = exp.run_stationary_sweep(
+            schemes=("pbe", "bbr", "cubic", "verus"),
+            n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
+            duration_s=args.duration)
+        print(exp.fig12_from_sweep(sweep).format())
+    elif name == "fig15":
+        sweep = exp.run_stationary_sweep(
+            schemes=("pbe", "bbr", "cubic", "copa", "sprout"),
+            n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
+            duration_s=args.duration)
+        print(exp.fig15_from_sweep(sweep).format())
+    elif name == "fig02":
+        print(exp.run_fig02().format())
+    elif name == "fig05":
+        print(exp.run_fig05().format())
+    elif name == "fig06":
+        print(exp.run_fig06().format())
+    elif name == "fig07":
+        print(exp.run_fig07(duration_s=args.duration).format())
+    elif name == "fig08":
+        print(exp.run_fig08().format())
+    elif name == "fig11":
+        print(exp.run_fig11().format())
+    elif name == "fig13":
+        print(exp.run_fig13_14(duration_s=args.duration).format())
+    elif name == "fig16":
+        print(exp.run_fig16_17(duration_s=2 * args.duration).format())
+    elif name == "fig18":
+        print(exp.run_fig18_19(duration_s=2 * args.duration).format())
+    elif name == "fig20":
+        print(exp.run_fig20(duration_s=args.duration).format())
+    elif name == "fig21":
+        print(exp.run_fig21(time_scale=args.duration / 60.0).format())
+    elif name == "ablation":
+        print(exp.run_ablation(duration_s=args.duration).format())
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(name)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list``: show available schemes and experiments."""
+    print("schemes:     " + ", ".join(sorted(SCHEMES)))
+    print("experiments: " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _add_cell_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sinr", type=float, default=18.0,
+                        help="mean SINR in dB (default 18)")
+    parser.add_argument("--carriers", type=int, default=2,
+                        choices=(1, 2, 3),
+                        help="aggregated carriers (default 2)")
+    parser.add_argument("--busy", action="store_true",
+                        help="busy cell with background users")
+    parser.add_argument("--internet-mbps", type=float, default=1000.0,
+                        help="wired-path rate (default: non-bottleneck)")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="flow duration in seconds (default 6)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PBE-CC reproduction (SIGCOMM 2020) simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one flow")
+    p_run.add_argument("--scheme", default="pbe",
+                       choices=sorted(SCHEMES))
+    _add_cell_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare schemes")
+    p_cmp.add_argument("--schemes", default="pbe,bbr,cubic")
+    _add_cell_options(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run a paper table/figure driver")
+    p_exp.add_argument("name", choices=EXPERIMENTS)
+    p_exp.add_argument("--locations", type=int, default=4,
+                       help="busy locations for sweep experiments")
+    p_exp.add_argument("--duration", type=float, default=6.0)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list schemes and experiments")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

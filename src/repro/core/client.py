@@ -1,0 +1,174 @@
+"""The PBE-CC mobile client (§4.2.2, §5).
+
+Runs on the phone: for every received data packet it estimates the
+one-way propagation delay ``Dprop`` (10-second min filter, as BBR does
+for RTprop), classifies the connection's bottleneck state, and attaches
+a capacity report to the outgoing ACK:
+
+* **Wireless-bottleneck state** — the feedback carries the translated
+  capacity estimate ``Ct`` (Eqns. 3+5) for the sender to pace at.
+* **Internet-bottleneck state** — entered after ``Npkt`` consecutive
+  packets exceed the delay threshold ``Dth = Dprop + 3·8 + 3`` ms
+  (three chained HARQ retransmissions plus measured jitter); the
+  feedback's state bit tells the sender to fall back to its
+  cellular-tailored BBR, and carries the fair share ``Cf`` as the
+  probing cap (Eqn. 7).  The client returns to the wireless state once
+  ``Npkt`` consecutive packets are back under the threshold *and* the
+  receive rate has reached the fair share (§4.2.3, "switching back").
+
+Decisions use delay *differences* against ``Dprop``, so no clock
+synchronization between server and phone is required (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..baselines.base import AckingReceiver
+from ..baselines.windowed import WindowedMin
+from ..monitor.pbe import MonitorReport, PbeMonitor
+from ..net.link import Receiver
+from ..net.packet import Packet
+from ..net.sim import Simulator
+from ..net.units import MSS_BITS, US_PER_MS, US_PER_S
+from .feedback import PbeFeedback
+
+#: Dprop min-filter window (§4.2.2: minimum over a 10-second window).
+DPROP_WINDOW_US = 10 * US_PER_S
+#: Delay-threshold margin: three chained 8 ms retransmissions + 3 ms
+#: jitter (94.1% of measured jitter is ≤ 3 ms).
+DELAY_MARGIN_US = (3 * 8 + 3) * US_PER_MS
+#: Npkt = SWITCH_SUBFRAMES · Ct / MSS (Eqn. 6).
+SWITCH_SUBFRAMES = 6
+#: Fraction of the fair share the receive rate must reach before
+#: switching back to the wireless-bottleneck state.
+FAIR_SHARE_FRACTION = 0.9
+
+WIRELESS, INTERNET = "wireless", "internet"
+
+
+class PbeClient(AckingReceiver):
+    """Mobile-side PBE-CC endpoint: delay tracking + capacity feedback."""
+
+    def __init__(self, sim: Simulator, flow_id: int, uplink: Receiver,
+                 monitor: PbeMonitor,
+                 default_rtprop_us: int = 40_000,
+                 delay_margin_us: int = DELAY_MARGIN_US) -> None:
+        """``delay_margin_us`` is the §4.2.2 threshold margin above
+        Dprop (default 3·8+3 ms); an ablation knob — 0 reproduces the
+        "theoretical threshold" the paper shows works poorly."""
+        super().__init__(sim, flow_id, uplink)
+        if delay_margin_us < 0:
+            raise ValueError("delay margin must be non-negative")
+        self.monitor = monitor
+        self.default_rtprop_us = default_rtprop_us
+        self.delay_margin_us = delay_margin_us
+        self.state = WIRELESS
+        self._dprop = WindowedMin(DPROP_WINDOW_US)
+        self._over_threshold_run = 0
+        self._under_threshold_run = 0
+        #: Receive-rate window: (arrival_us, bits).
+        self._recent: deque[tuple[int, int]] = deque()
+        self._last_report: Optional[MonitorReport] = None
+        self.state_changes: list[tuple[int, str]] = []
+        #: Time spent in each state, µs (for §6.3.1's 18%/4% statistic).
+        self.time_in_state = {WIRELESS: 0, INTERNET: 0}
+        self._state_since = 0
+
+    # ------------------------------------------------------------------
+    # Delay bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def dprop_us(self) -> int:
+        value = self._dprop.get()
+        return int(value) if value is not None else 0
+
+    @property
+    def delay_threshold_us(self) -> int:
+        """``Dth`` of §4.2.2."""
+        return self.dprop_us + self.delay_margin_us
+
+    def _rtprop_us(self, packet: Packet) -> int:
+        srtt = packet.meta.get("srtt_us", 0)
+        return srtt if srtt > 0 else self.default_rtprop_us
+
+    def _receive_rate_bps(self, now_us: int, window_us: int) -> float:
+        horizon = now_us - window_us
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+        bits = sum(b for _, b in self._recent)
+        return bits * US_PER_S / window_us if window_us > 0 else 0.0
+
+    def _npkt(self, ct_bits_per_subframe: float) -> int:
+        """Consecutive-packet threshold Npkt (Eqn. 6), at least 3.
+
+        ``Npkt = 6 · Ct / MSS`` with Ct in bits per subframe — the
+        number of packets the current rate carries in six subframes.
+        """
+        return max(3, round(SWITCH_SUBFRAMES * ct_bits_per_subframe
+                            / MSS_BITS))
+
+    # ------------------------------------------------------------------
+    # Per-packet processing
+    # ------------------------------------------------------------------
+    def feedback_for(self, packet: Packet) -> PbeFeedback:
+        now = self.sim.now
+        delay = now - packet.sent_time_us
+        self._dprop.update(now, delay)
+        self._recent.append((now, packet.size_bits))
+
+        rtprop_us = self._rtprop_us(packet)
+        rtprop_subframes = max(1, rtprop_us // 1_000)
+        report = self.monitor.report(rtprop_subframes)
+        self._last_report = report
+
+        threshold = self.delay_threshold_us
+        npkt = self._npkt(report.transport_capacity)
+        if delay > threshold:
+            self._over_threshold_run += 1
+            self._under_threshold_run = 0
+        else:
+            self._under_threshold_run += 1
+            self._over_threshold_run = 0
+
+        if self.state == WIRELESS:
+            if self._over_threshold_run >= npkt:
+                self._switch(INTERNET, now)
+        else:
+            receive_rate = self._receive_rate_bps(now, rtprop_us)
+            fair = report.transport_fair_share_bps
+            if (self._under_threshold_run >= npkt
+                    and receive_rate >= FAIR_SHARE_FRACTION * fair):
+                self._switch(WIRELESS, now)
+
+        # §4.1/§4.2.1: the sender offers at least its fair share of the
+        # cell (so an under-allocated flow keeps pressure on the
+        # scheduler and converges back to the equal split), and more
+        # when idle capacity makes Cp exceed the fair share.  The base
+        # station's per-user fairness arbitrates any overshoot.
+        target = max(report.transport_capacity_bps,
+                     report.transport_fair_share_bps)
+        return PbeFeedback.from_rates(
+            target_rate_bps=target,
+            fair_rate_bps=report.transport_fair_share_bps,
+            internet_bottleneck=(self.state == INTERNET),
+            carrier_activated=report.carrier_activated)
+
+    def _switch(self, state: str, now_us: int) -> None:
+        self.time_in_state[self.state] += now_us - self._state_since
+        self._state_since = now_us
+        self.state = state
+        self.state_changes.append((now_us, state))
+        self._over_threshold_run = 0
+        self._under_threshold_run = 0
+
+    # ------------------------------------------------------------------
+    def state_fractions(self, now_us: int) -> dict[str, float]:
+        """Fraction of connection time spent in each bottleneck state."""
+        totals = dict(self.time_in_state)
+        totals[self.state] += now_us - self._state_since
+        span = sum(totals.values())
+        if span == 0:
+            return {WIRELESS: 1.0, INTERNET: 0.0}
+        return {k: v / span for k, v in totals.items()}

@@ -1,0 +1,222 @@
+"""The PBE-CC sender (§4.1-§4.2.3).
+
+A rate-based controller driven by the mobile client's explicit capacity
+feedback:
+
+* **Startup (§4.1)** — linear rate increase from zero to the fair-share
+  rate ``Cf`` over three RTTs, so the cell tower and competing users
+  have time to react.  The ramp restarts whenever the network activates
+  another component carrier.
+* **Wireless-bottleneck state (§4.2.1)** — pace exactly at the reported
+  transport capacity ``Ct``, with inflight capped at the BDP
+  (``Ct × RTprop``) so delayed feedback cannot flood the network.
+* **Internet-bottleneck state (§4.2.3)** — after a one-RTprop drain
+  phase at ``0.5·BtlBw``, run a cellular-tailored BBR whose probing
+  rate is capped at the wireless fair share:
+  ``Cprobe = min(1.25·BtlBw, Cf)`` (Eqn. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.base import AckContext, CongestionControl
+from ..baselines.bbr import PROBE_BW, Bbr
+from ..net.packet import Packet
+from ..net.units import MSS_BITS, US_PER_S
+from .feedback import PbeFeedback
+from .guard import FeedbackGuard
+
+STARTUP, WIRELESS, DRAIN, INTERNET = ("startup", "wireless", "drain",
+                                      "internet")
+
+#: Startup ramp length, in round-trip times (§4.1: three RTTs).
+RAMP_RTTS = 3
+#: Wireless-state pacing gain.  The paper's binding control is the
+#: congestion window ("PBE-CC limits the amount of inflight data to the
+#: bandwidth-delay product ... with a congestion window", §4) — pacing
+#: runs slightly above the capacity estimate so the BDP window stays
+#: full and dips in the estimate cannot starve the wireless scheduler.
+WIRELESS_PACING_GAIN = 1.25
+#: Drain-phase pacing gain on entering the Internet-bottleneck state.
+DRAIN_GAIN = 0.5
+#: cwnd headroom above the BDP, packets.
+CWND_SLACK_PACKETS = 4
+#: Two HARQ retransmission cycles (16 ms), µs: the BDP window must absorb
+#: the receiver-side reordering stalls of §3/Figure 3, otherwise every
+#: 8 ms stall blocks the window and the paced sender can never win the
+#: time back.
+RETX_MARGIN_US = 16_000
+
+
+class PbeSender(CongestionControl):
+    """Server-side PBE-CC congestion control."""
+
+    name = "pbe"
+
+    def __init__(self, initial_rate_bps: float = 1.2e6,
+                 mss_bits: int = MSS_BITS,
+                 ramp_rtts: float = RAMP_RTTS,
+                 pacing_gain: float = WIRELESS_PACING_GAIN,
+                 retx_margin_us: int = RETX_MARGIN_US,
+                 cap_probe_at_fair_share: bool = True,
+                 guard: Optional[FeedbackGuard] = None) -> None:
+        """Ablation knobs (defaults are the paper's design):
+
+        ``ramp_rtts=0`` jumps straight to Cf instead of the §4.1 linear
+        ramp; ``retx_margin_us=0`` sizes the cwnd at the bare BDP;
+        ``cap_probe_at_fair_share=False`` probes at plain 1.25·BtlBw
+        instead of Eqn. 7's ``min(1.25·BtlBw, Cf)``.
+
+        ``guard`` optionally attaches the §7 misreported-feedback
+        detector: once it flags the client, the sender ignores inflated
+        capacity reports and caps at the measured throughput.
+        """
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        if ramp_rtts < 0 or retx_margin_us < 0 or pacing_gain <= 0:
+            raise ValueError("ablation knobs must be non-negative")
+        self.mss_bits = mss_bits
+        self.initial_rate_bps = initial_rate_bps
+        self.ramp_rtts = ramp_rtts
+        self.pacing_gain = pacing_gain
+        self.retx_margin_us = retx_margin_us
+        self.cap_probe_at_fair_share = cap_probe_at_fair_share
+        self.guard = guard
+        self.state = STARTUP
+
+        #: Embedded cellular-tailored BBR: fed every ACK so its BtlBw /
+        #: RTprop filters are warm the instant the bottleneck moves into
+        #: the Internet.  Its probing rate is capped at Cf (Eqn. 7).
+        self.bbr = Bbr(initial_rate_bps=initial_rate_bps,
+                       mss_bits=mss_bits,
+                       probe_rate_cap=self._fair_share_cap)
+
+        self.target_rate_bps = 0.0
+        self.fair_rate_bps = 0.0
+        self._srtt_us = 0
+        self._ramp_start_us: Optional[int] = None
+        self._ramp_base_bps = 0.0
+        self._drain_until_us = 0
+        self.state_changes: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def _fair_share_cap(self) -> Optional[float]:
+        if not self.cap_probe_at_fair_share:
+            return None
+        return self.fair_rate_bps if self.fair_rate_bps > 0 else None
+
+    @property
+    def rtprop_us(self) -> int:
+        rtprop = self.bbr.rtprop_us
+        if rtprop:
+            return rtprop
+        return self._srtt_us or 40_000
+
+    def _switch(self, state: str, now_us: int) -> None:
+        self.state = state
+        self.state_changes.append((now_us, state))
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack(self, ctx: AckContext) -> None:
+        now = ctx.now_us
+        if ctx.rtt_us > 0:
+            self._srtt_us = (ctx.rtt_us if self._srtt_us == 0 else
+                             round(0.875 * self._srtt_us
+                                   + 0.125 * ctx.rtt_us))
+        self.bbr.on_ack(ctx)
+
+        feedback = ctx.ack.feedback
+        if not isinstance(feedback, PbeFeedback):
+            return
+        self.target_rate_bps = feedback.target_rate_bps
+        self.fair_rate_bps = feedback.fair_rate_bps
+        if self.guard is not None:
+            self.guard.observe(now, feedback.target_rate_bps,
+                               ctx.delivery_rate_bps)
+        if (self.state == STARTUP and self._ramp_start_us is None
+                and self.fair_rate_bps > 0):
+            self._ramp_start_us = now  # first Cf report arms the ramp
+
+        if feedback.carrier_activated and self.state in (WIRELESS, STARTUP):
+            # §4.1: more carriers activated -> restart the fair-share
+            # approach from the current operating rate.
+            self._ramp_base_bps = self._current_wireless_rate(now)
+            self._ramp_start_us = now
+            self._switch(STARTUP, now)
+            return
+
+        if feedback.internet_bottleneck:
+            if self.state in (STARTUP, WIRELESS):
+                # §4.2.3: drain the queue for one RTprop first.
+                self._drain_until_us = now + self.rtprop_us
+                self._switch(DRAIN, now)
+            elif self.state == DRAIN and now >= self._drain_until_us:
+                self.bbr.filled_pipe = True
+                if self.bbr.state != PROBE_BW:
+                    self.bbr.enter_probe_bw(now)
+                self._switch(INTERNET, now)
+            return
+
+        if self.state in (DRAIN, INTERNET):
+            self._switch(WIRELESS, now)
+        elif self.state == STARTUP and self._ramp_progress(now) >= 1.0:
+            self._switch(WIRELESS, now)
+
+    def on_timeout(self, now_us: int) -> None:
+        self.bbr.on_timeout(now_us)
+        self._ramp_base_bps = 0.0
+        self._ramp_start_us = now_us
+        self._switch(STARTUP, now_us)
+
+    def on_send(self, packet: Packet) -> None:
+        # The client needs the connection RTT to size its averaging
+        # window (§4.2.1) — piggyback it on every data packet.
+        packet.meta["srtt_us"] = self._srtt_us
+        packet.meta["phase"] = self.state
+
+    # ------------------------------------------------------------------
+    # Rate control
+    # ------------------------------------------------------------------
+    def _ramp_progress(self, now_us: int) -> float:
+        if self._ramp_start_us is None:
+            return 0.0
+        ramp_us = self.ramp_rtts * max(self._srtt_us, 10_000)
+        if ramp_us <= 0:
+            return 1.0
+        return min(1.0, (now_us - self._ramp_start_us) / ramp_us)
+
+    def _current_wireless_rate(self, now_us: int) -> float:
+        if self.state == STARTUP:
+            if self._ramp_start_us is None:
+                return self.initial_rate_bps
+            progress = self._ramp_progress(now_us)
+            goal = self.fair_rate_bps or self.initial_rate_bps
+            rate = max(self.initial_rate_bps,
+                       self._ramp_base_bps
+                       + (goal - self._ramp_base_bps) * progress)
+        else:
+            rate = self.target_rate_bps or self.initial_rate_bps
+        if self.guard is not None:
+            rate = max(self.initial_rate_bps, self.guard.cap_rate(rate))
+        return rate
+
+    def pacing_rate_bps(self, now_us: int) -> float:
+        if self.state == STARTUP:
+            return self._current_wireless_rate(now_us)
+        if self.state == WIRELESS:
+            return self.pacing_gain * self._current_wireless_rate(now_us)
+        if self.state == DRAIN:
+            btlbw = self.bbr.btlbw_bps or self.target_rate_bps
+            return max(self.initial_rate_bps, DRAIN_GAIN * btlbw)
+        return self.bbr.pacing_rate_bps(now_us)
+
+    def cwnd_bits(self, now_us: int) -> Optional[float]:
+        slack = CWND_SLACK_PACKETS * self.mss_bits
+        if self.state in (STARTUP, WIRELESS, DRAIN):
+            rate = self._current_wireless_rate(now_us)
+            bdp = rate * (self.rtprop_us + self.retx_margin_us) / US_PER_S
+            return bdp + slack
+        return self.bbr.cwnd_bits(now_us)

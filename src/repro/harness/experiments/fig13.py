@@ -1,0 +1,64 @@
+"""Figures 13-14: order-statistic drill-down at six locations.
+
+For each representative location (indoor/outdoor × busy/idle × 1/2/3
+aggregated cells) and each of the eight algorithms, the paper plots
+the 10/25/50/75/90th percentiles of 100 ms-window throughput and
+one-way delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import ORDER_STATS, FlowSummary
+from ..runner import Experiment, FlowSpec
+from ..report import format_table
+from ..scenarios import representative_locations
+
+EIGHT_SCHEMES = ("pbe", "bbr", "cubic", "verus", "sprout", "copa",
+                 "pcc", "vivace")
+
+
+@dataclass
+class Fig13Result:
+    #: {location_key: {scheme: FlowSummary}}
+    locations: dict
+
+    def summary(self, location_key: str, scheme: str) -> FlowSummary:
+        return self.locations[location_key][scheme]
+
+    def format(self) -> str:
+        blocks = []
+        for key, by_scheme in self.locations.items():
+            rows = []
+            for scheme, summary in by_scheme.items():
+                tput = summary.throughput_percentiles_bps
+                delay = summary.delay_percentiles_ms
+                rows.append(
+                    [scheme]
+                    + [tput[p] / 1e6 for p in ORDER_STATS]
+                    + [delay[p] for p in ORDER_STATS])
+            headers = (["scheme"]
+                       + [f"tput p{p}" for p in ORDER_STATS]
+                       + [f"delay p{p}" for p in ORDER_STATS])
+            blocks.append(format_table(
+                headers, rows,
+                title=f"{key} (tput Mbit/s, delay ms)"))
+        return "\n\n".join(blocks)
+
+
+def run_fig13_14(schemes: tuple = EIGHT_SCHEMES,
+                 location_keys: tuple | None = None,
+                 duration_s: float = 8.0) -> Fig13Result:
+    """Run the drill-down grid (all six locations by default)."""
+    reps = representative_locations(duration_s=duration_s)
+    keys = location_keys or tuple(reps)
+    out: dict[str, dict] = {}
+    for key in keys:
+        scenario = reps[key]
+        out[key] = {}
+        for scheme in schemes:
+            experiment = Experiment(scenario)
+            experiment.add_flow(FlowSpec(scheme=scheme))
+            out[key][scheme] = experiment.run()[0].summary
+    return Fig13Result(out)

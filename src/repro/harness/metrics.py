@@ -1,0 +1,116 @@
+"""Measurement conventions of the paper's evaluation (§6.1).
+
+Throughput is measured in 100-millisecond windows; delay statistics are
+per-packet one-way delays; order statistics (10/25/50/75/90th
+percentiles) drive Figures 13-14; Jain's fairness index drives §6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..net.flow import FlowStats
+from ..net.units import US_PER_MS, US_PER_S
+
+#: The paper's throughput measurement window.
+WINDOW_US = 100_000
+
+
+def windowed_throughput_bps(stats: FlowStats,
+                            window_us: int = WINDOW_US,
+                            start_us: int | None = None,
+                            end_us: int | None = None) -> np.ndarray:
+    """Per-window goodput across the flow's active span, bits/s."""
+    if window_us <= 0:
+        raise ValueError("window must be positive")
+    if stats.packets == 0:
+        return np.array([])
+    start = stats.first_arrival_us if start_us is None else start_us
+    end = stats.last_arrival_us if end_us is None else end_us
+    if end <= start:
+        return np.array([])
+    arrivals = np.asarray(stats.arrival_us)
+    sizes = np.asarray(stats.size_bits)
+    n_windows = int(np.ceil((end - start) / window_us))
+    indices = np.clip((arrivals - start) // window_us, 0, n_windows - 1)
+    mask = (arrivals >= start) & (arrivals <= end)
+    sums = np.bincount(indices[mask].astype(int), weights=sizes[mask],
+                       minlength=n_windows)
+    return sums * (US_PER_S / window_us)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Percentile with the paper's plotting convention (linear interp)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, p))
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    denom = arr.size * float(np.sum(arr ** 2))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / denom
+
+
+@dataclass
+class FlowSummary:
+    """Everything the paper reports about one flow."""
+
+    scheme: str
+    average_throughput_bps: float
+    throughput_percentiles_bps: dict
+    average_delay_ms: float
+    median_delay_ms: float
+    p95_delay_ms: float
+    delay_percentiles_ms: dict
+    packets: int
+
+    @property
+    def average_throughput_mbps(self) -> float:
+        return self.average_throughput_bps / 1e6
+
+
+#: Order statistics plotted in Figures 13-14.
+ORDER_STATS = (10, 25, 50, 75, 90)
+
+
+def summarize_flow(stats: FlowStats, scheme: str = "",
+                   window_us: int = WINDOW_US,
+                   skip_first_us: int = 0) -> FlowSummary:
+    """Compute the paper's reported statistics for one flow.
+
+    ``skip_first_us`` optionally trims the startup transient (the paper
+    reports whole-flow figures; some drill-downs exclude slow-start).
+    """
+    if stats.packets == 0:
+        empty = {p: 0.0 for p in ORDER_STATS}
+        return FlowSummary(scheme, 0.0, dict(empty), 0.0, 0.0, 0.0,
+                           dict(empty), 0)
+    start = stats.first_arrival_us + skip_first_us
+    delays_ms = [d / US_PER_MS for t, d in
+                 zip(stats.arrival_us, stats.delay_us) if t >= start]
+    if not delays_ms:
+        delays_ms = stats.delays_ms()
+        start = stats.first_arrival_us
+    windows = windowed_throughput_bps(stats, window_us, start_us=start)
+    tput_pct = {p: percentile(windows, p) for p in ORDER_STATS}
+    delay_pct = {p: percentile(delays_ms, p) for p in ORDER_STATS}
+    return FlowSummary(
+        scheme=scheme,
+        average_throughput_bps=float(np.mean(windows)) if windows.size
+        else 0.0,
+        throughput_percentiles_bps=tput_pct,
+        average_delay_ms=float(np.mean(delays_ms)),
+        median_delay_ms=percentile(delays_ms, 50),
+        p95_delay_ms=percentile(delays_ms, 95),
+        delay_percentiles_ms=delay_pct,
+        packets=len(delays_ms))

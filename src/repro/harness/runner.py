@@ -1,0 +1,310 @@
+"""Pantheon-like experiment runner (§6.1).
+
+Assembles the full end-to-end path for each flow — content server,
+wired Internet segment, base-station queues, wireless subframe engine,
+mobile receiver, ACK return path — runs the event loop and returns the
+paper's measurement set per flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..baselines import (
+    AckingReceiver,
+    Bbr,
+    CongestionControl,
+    Copa,
+    Cubic,
+    FixedRate,
+    PccAllegro,
+    PccVivace,
+    Reno,
+    Sender,
+    Sprout,
+    Vegas,
+    Verus,
+)
+from ..cell.basestation import CellularNetwork
+from ..core.client import PbeClient
+from ..core.sender import PbeSender
+from ..monitor.pbe import PbeMonitor
+from ..net.flow import FlowStats
+from ..net.link import BatchingPipe, FlowDemux, Link, Receiver
+from ..net.sim import Simulator
+from ..net.units import us_from_seconds
+from ..phy.channel import ChannelModel
+from ..phy.error import sinr_to_ber
+from ..traces.workload import OnOffRandomDemand
+from .metrics import FlowSummary, summarize_flow
+from .scenarios import Scenario
+
+#: RNTI range for devices under test.
+TEST_RNTI_BASE = 100
+#: RNTI range for background (exogenous) users.
+BACKGROUND_RNTI_BASE = 1_000
+
+#: Scheme-name registry (the eight algorithms of §6.1 plus Reno).
+SCHEMES: dict[str, Callable[..., CongestionControl]] = {
+    "pbe": PbeSender,
+    "bbr": Bbr,
+    "cubic": Cubic,
+    "reno": Reno,
+    "verus": Verus,
+    "sprout": Sprout,
+    "copa": Copa,
+    "pcc": PccAllegro,
+    "vivace": PccVivace,
+    "vegas": Vegas,
+    "cbr": FixedRate,
+}
+
+
+def make_cc(scheme: str, seed: int = 0,
+            **kwargs) -> CongestionControl:
+    """Instantiate a congestion controller by scheme name."""
+    try:
+        factory = SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; known: {sorted(SCHEMES)}") from None
+    if scheme in ("pcc", "vivace"):
+        kwargs.setdefault("seed", seed)
+    return factory(**kwargs)
+
+
+@dataclass
+class FlowSpec:
+    """One flow's configuration inside a scenario."""
+
+    scheme: str
+    rnti: int = TEST_RNTI_BASE
+    start_s: float = 0.0
+    #: ``None`` runs until the scenario ends.
+    duration_s: Optional[float] = None
+    #: Per-flow server distance (one-way wired delay override), µs.
+    internet_delay_us: Optional[int] = None
+    #: Channel override (e.g. a mobility trace).
+    channel: Optional[ChannelModel] = None
+    #: Cells configured for this device (defaults to scenario's).
+    cells: Optional[list[int]] = None
+    #: Share this wired link instead of a private one (Internet-
+    #: bottleneck experiments).
+    shared_link: Optional[Link] = None
+    log_allocations: bool = False
+    #: Application-limited source: cap the send rate below what the
+    #: congestion controller allows (e.g. a fixed-bitrate video).
+    app_rate_bps: Optional[float] = None
+    #: Extra keyword arguments for the scheme's constructor
+    #: (e.g. ``{"rate_bps": 60e6}`` for the ``cbr`` scheme).
+    cc_kwargs: dict = field(default_factory=dict)
+    #: PBE-only ablation knobs for the mobile client / monitor.
+    pbe_client_kwargs: dict = field(default_factory=dict)
+    pbe_monitor_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class FlowHandle:
+    """Live wiring of one flow (available while the sim runs)."""
+
+    spec: FlowSpec
+    sender: Sender
+    receiver: AckingReceiver
+    cc: CongestionControl
+    monitor: Optional[PbeMonitor] = None
+
+    @property
+    def stats(self) -> FlowStats:
+        return self.receiver.stats
+
+
+@dataclass
+class FlowResult:
+    """Post-run measurements for one flow."""
+
+    spec: FlowSpec
+    summary: FlowSummary
+    stats: FlowStats
+    sent_packets: int
+    lost_packets: int
+    ca_activations: int
+    #: PBE-only: fraction of time in each bottleneck state.
+    state_fractions: Optional[dict] = None
+    #: Per-subframe ``(subframe, cell_id, prbs)`` log, if requested.
+    allocations: Optional[list] = None
+
+
+class Experiment:
+    """One scenario's simulation: network plus any number of flows."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.sim = Simulator()
+        self.network = CellularNetwork(
+            self.sim, scenario.carriers,
+            control_arrivals_per_subframe=(
+                scenario.control_arrivals_per_subframe),
+            scheduler_policy=scenario.scheduler_policy,
+            cqi_delay_subframes=scenario.cqi_delay_subframes,
+            seed=scenario.seed)
+        self.flows: list[FlowHandle] = []
+        self._add_background_users()
+        self.network.start()
+
+    # ------------------------------------------------------------------
+    def _add_background_users(self) -> None:
+        scenario = self.scenario
+        for i in range(scenario.background_users):
+            rnti = BACKGROUND_RNTI_BASE + i
+            demand = OnOffRandomDemand(
+                mean_on_s=scenario.background_on_s,
+                mean_off_s=scenario.background_off_s,
+                rate_range_bps=scenario.background_rate_range,
+                seed=scenario.seed + 31 * (i + 1))
+            self.network.add_exogenous_user(
+                rnti, [scenario.carriers[0].cell_id],
+                scenario.channel(seed_offset=97 + i), demand)
+
+    # ------------------------------------------------------------------
+    def add_flow(self, spec: FlowSpec) -> FlowHandle:
+        """Wire up one end-to-end flow and schedule its start/stop."""
+        scenario = self.scenario
+        sim = self.sim
+        cells = spec.cells or scenario.device_cells
+        channel = spec.channel or scenario.channel(seed_offset=spec.rnti)
+        delay_us = (spec.internet_delay_us
+                    if spec.internet_delay_us is not None
+                    else scenario.internet_delay_us)
+
+        if spec.shared_link is not None:
+            # Shared bottleneck: the link's sink must be a FlowDemux
+            # (see make_shared_bottleneck); register this flow's route.
+            egress: Receiver = spec.shared_link
+            demux = spec.shared_link.sink
+            if not isinstance(demux, FlowDemux):
+                raise ValueError(
+                    "shared_link's sink must be a FlowDemux "
+                    "(use Experiment.make_shared_bottleneck)")
+            demux.add_route(spec.rnti, self.network.ingress(spec.rnti))
+        else:
+            egress = Link(sim, self.network.ingress(spec.rnti),
+                          rate_bps=scenario.internet_rate_bps,
+                          delay_us=delay_us,
+                          queue_packets=scenario.internet_queue_packets,
+                          name=f"internet-{spec.rnti}")
+
+        cc = make_cc(spec.scheme, seed=scenario.seed + spec.rnti,
+                     **spec.cc_kwargs)
+        sender = Sender(sim, flow_id=spec.rnti, cc=cc, egress=egress,
+                        app_rate_bps=spec.app_rate_bps)
+        uplink = BatchingPipe(
+            sim, sender, scenario.uplink_delay_us,
+            batch_interval_us=scenario.uplink_batch_us,
+            name=f"uplink-{spec.rnti}")
+
+        monitor: Optional[PbeMonitor] = None
+        if spec.scheme == "pbe":
+            receiver, monitor = self._wire_pbe(spec, cells, uplink)
+        else:
+            receiver = AckingReceiver(sim, spec.rnti, uplink)
+
+        self.network.add_user(
+            spec.rnti, cells, channel, on_packet=receiver.receive,
+            log_allocations=spec.log_allocations)
+
+        sim.schedule(us_from_seconds(spec.start_s), sender.start)
+        end_s = (spec.start_s + spec.duration_s
+                 if spec.duration_s is not None else scenario.duration_s)
+        sim.schedule(us_from_seconds(min(end_s, scenario.duration_s)),
+                     sender.stop)
+
+        handle = FlowHandle(spec, sender, receiver, cc, monitor)
+        self.flows.append(handle)
+        return handle
+
+    def make_shared_bottleneck(self, rate_bps: float, delay_us: int,
+                               queue_packets: int = 300) -> Link:
+        """Build a wired bottleneck link several flows can share.
+
+        Pass the returned link as each flow's ``FlowSpec.shared_link``;
+        routes to the per-user cellular ingress are registered
+        automatically as flows are added (§4.2.3's shared-Internet-
+        bottleneck topology).
+        """
+        return Link(self.sim, FlowDemux(), rate_bps=rate_bps,
+                    delay_us=delay_us, queue_packets=queue_packets,
+                    name="shared-bottleneck")
+
+    def schedule_handover(self, handle: FlowHandle, at_s: float,
+                          new_cells: list[int],
+                          channel: Optional[ChannelModel] = None) -> None:
+        """Hand the flow's device over to a new cell group at ``at_s``.
+
+        For PBE flows the device must have decoders configured for the
+        target cells — pass the union of all visited cells in the
+        flow's ``cells`` spec.
+        """
+        def perform() -> None:
+            self.network.handover(handle.spec.rnti, new_cells,
+                                  channel=channel)
+            if handle.monitor is not None:
+                handle.monitor.set_primary(new_cells[0])
+
+        self.sim.schedule(us_from_seconds(at_s), perform)
+
+    def _wire_pbe(self, spec: FlowSpec, cells: list[int],
+                  uplink: Receiver) -> tuple[PbeClient, PbeMonitor]:
+        """Build the PBE monitor + client for one device."""
+        network = self.network
+
+        def own_rate_hint() -> tuple[int, float]:
+            user = network.user(spec.rnti)
+            return user.bits_per_prb_now, sinr_to_ber(user.sinr_db)
+
+        cell_prbs = {c: network.carriers[c].total_prbs for c in cells}
+        monitor = PbeMonitor(spec.rnti, cell_prbs, primary_cell=cells[0],
+                             own_rate_hint=own_rate_hint,
+                             **spec.pbe_monitor_kwargs)
+        for cell_id in cells:
+            network.attach_monitor(cell_id,
+                                   monitor.decoder_callback(cell_id))
+        receiver = PbeClient(self.sim, spec.rnti, uplink, monitor,
+                             **spec.pbe_client_kwargs)
+        return receiver, monitor
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[FlowResult]:
+        """Run to the scenario's end and summarize every flow."""
+        self.sim.run(until_us=us_from_seconds(self.scenario.duration_s))
+        results = []
+        for handle in self.flows:
+            extras: dict = {}
+            state_fractions = None
+            if isinstance(handle.receiver, PbeClient):
+                state_fractions = handle.receiver.state_fractions(
+                    self.sim.now)
+            allocations = None
+            user = self.network.user(handle.spec.rnti)
+            if user.allocated_history is not None:
+                allocations = list(user.allocated_history)
+            results.append(FlowResult(
+                spec=handle.spec,
+                summary=summarize_flow(handle.stats, handle.spec.scheme),
+                stats=handle.stats,
+                sent_packets=handle.sender.sent_packets,
+                lost_packets=handle.sender.lost_packets,
+                ca_activations=self.network.ca.activations_for(
+                    handle.spec.rnti),
+                state_fractions=state_fractions,
+                allocations=allocations))
+        return results
+
+
+def run_flow(scenario: Scenario, scheme: str,
+             spec_overrides: Optional[dict] = None) -> FlowResult:
+    """Convenience: one flow, full scenario duration."""
+    experiment = Experiment(scenario)
+    spec = FlowSpec(scheme=scheme, **(spec_overrides or {}))
+    experiment.add_flow(spec)
+    return experiment.run()[0]

@@ -1,0 +1,70 @@
+"""JSON-serializable views of experiment results.
+
+Turns the harness's result objects into plain dictionaries so runs can
+be archived, diffed and post-processed outside the simulator (the
+paper's artifact releases raw per-run logs the same way).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .metrics import FlowSummary
+from .runner import FlowResult
+
+
+def summary_to_dict(summary: FlowSummary) -> dict:
+    """Flatten a :class:`FlowSummary` into JSON-ready primitives."""
+    return {
+        "scheme": summary.scheme,
+        "average_throughput_bps": summary.average_throughput_bps,
+        "average_throughput_mbps": summary.average_throughput_mbps,
+        "throughput_percentiles_bps": {
+            str(p): v
+            for p, v in summary.throughput_percentiles_bps.items()},
+        "average_delay_ms": summary.average_delay_ms,
+        "median_delay_ms": summary.median_delay_ms,
+        "p95_delay_ms": summary.p95_delay_ms,
+        "delay_percentiles_ms": {
+            str(p): v for p, v in summary.delay_percentiles_ms.items()},
+        "packets": summary.packets,
+    }
+
+
+def result_to_dict(result: FlowResult,
+                   include_samples: bool = False) -> dict:
+    """Flatten a :class:`FlowResult`.
+
+    ``include_samples=True`` additionally embeds the raw per-packet
+    arrival/delay series (large!).
+    """
+    out = {
+        "scheme": result.spec.scheme,
+        "rnti": result.spec.rnti,
+        "summary": summary_to_dict(result.summary),
+        "sent_packets": result.sent_packets,
+        "lost_packets": result.lost_packets,
+        "ca_activations": result.ca_activations,
+        "state_fractions": result.state_fractions,
+    }
+    if include_samples:
+        out["samples"] = {
+            "arrival_us": list(result.stats.arrival_us),
+            "delay_us": list(result.stats.delay_us),
+            "size_bits": list(result.stats.size_bits),
+        }
+    return out
+
+
+def save_results(results: list, path: Union[str, Path],
+                 include_samples: bool = False) -> None:
+    """Write a list of :class:`FlowResult` to a JSON file."""
+    payload = [result_to_dict(r, include_samples) for r in results]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_results(path: Union[str, Path]) -> list:
+    """Read back what :func:`save_results` wrote (as dictionaries)."""
+    return json.loads(Path(path).read_text())

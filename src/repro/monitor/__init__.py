@@ -1,0 +1,50 @@
+"""PBE physical-layer bandwidth measurement module (the paper's §4.2.1/§5).
+
+The mobile-endpoint measurement stack: per-cell control-channel
+decoders, subframe-aligned message fusion, active-user filtering,
+capacity estimation (Eqns. 1-4) and cross-layer rate translation
+(Eqn. 5), packaged behind :class:`PbeMonitor`.
+"""
+
+from .bursttracker import (
+    IDLE,
+    UPSTREAM_BOTTLENECK,
+    WIRELESS_BOTTLENECK,
+    BurstTracker,
+    BurstWindow,
+)
+from .capacity import CellCapacityEstimator, CellEstimate, CellSample
+from .occupancy import OccupancyAnalyzer, UserOccupancy
+from .decoder import (
+    N_DCI_FORMATS,
+    N_SEARCH_POSITIONS,
+    ControlChannelDecoder,
+    MessageFusion,
+)
+from .filters import (
+    DEFAULT_WINDOW_SUBFRAMES,
+    MIN_ACTIVE_SUBFRAMES,
+    MIN_AVG_PRBS,
+    ActiveUserFilter,
+    UserActivity,
+)
+from .pbe import SECONDARY_INACTIVE_TIMEOUT, MonitorReport, PbeMonitor
+from .translation import (
+    PROTOCOL_OVERHEAD,
+    TranslationTable,
+    physical_from_transport,
+    transport_from_physical,
+)
+
+__all__ = [
+    "ActiveUserFilter", "BurstTracker", "BurstWindow",
+    "CellCapacityEstimator", "CellEstimate",
+    "CellSample", "ControlChannelDecoder", "DEFAULT_WINDOW_SUBFRAMES",
+    "MIN_ACTIVE_SUBFRAMES", "MIN_AVG_PRBS", "MessageFusion",
+    "IDLE", "MonitorReport", "N_DCI_FORMATS", "N_SEARCH_POSITIONS",
+    "OccupancyAnalyzer", "UserOccupancy",
+    "UPSTREAM_BOTTLENECK", "WIRELESS_BOTTLENECK",
+    "PROTOCOL_OVERHEAD", "PbeMonitor", "SECONDARY_INACTIVE_TIMEOUT",
+    "TranslationTable", "UserActivity", "physical_from_transport",
+    "transport_from_physical",
+]

@@ -1,0 +1,101 @@
+"""Active-user detection and control-traffic filtering (§4.2.1).
+
+The monitor counts the users sharing each cell, but many detected users
+are only receiving parameter updates (Figure 7): 68.2% are active for
+exactly one subframe on exactly four PRBs.  Counting them in the
+fair-share denominator ``N`` would starve real data flows, so the paper
+filters on activity length and bandwidth: ``Ta > 1`` subframes and
+``Pa > 4`` PRBs.  Idle-PRB accounting (Eqn. 4), by contrast, uses
+*every* identified user.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..phy.dci import SubframeRecord
+
+#: Default sliding-window length for user counting (the paper uses 40 ms).
+DEFAULT_WINDOW_SUBFRAMES = 40
+#: Filter thresholds from §4.2.1.
+MIN_ACTIVE_SUBFRAMES = 2   # Ta > 1
+MIN_AVG_PRBS = 5           # Pa > 4
+
+
+@dataclass
+class UserActivity:
+    """Aggregate activity of one RNTI inside the sliding window."""
+
+    active_subframes: int = 0
+    total_prbs: int = 0
+
+    @property
+    def average_prbs(self) -> float:
+        if self.active_subframes == 0:
+            return 0.0
+        return self.total_prbs / self.active_subframes
+
+
+@dataclass
+class _SubframeUsers:
+    subframe: int
+    #: ``{rnti: prbs}`` allocations seen this subframe.
+    allocations: dict = field(default_factory=dict)
+
+
+class ActiveUserFilter:
+    """Sliding-window user tracker for one cell's control channel."""
+
+    def __init__(self,
+                 window_subframes: int = DEFAULT_WINDOW_SUBFRAMES) -> None:
+        if window_subframes < 1:
+            raise ValueError("window must be positive")
+        self.window_subframes = window_subframes
+        self._window: deque[_SubframeUsers] = deque()
+
+    def update(self, record: SubframeRecord) -> None:
+        """Fold one decoded subframe into the window."""
+        entry = _SubframeUsers(record.subframe)
+        for message in record.messages:
+            if message.n_prbs > 0:
+                entry.allocations[message.rnti] = (
+                    entry.allocations.get(message.rnti, 0) + message.n_prbs)
+        self._window.append(entry)
+        while len(self._window) > self.window_subframes:
+            self._window.popleft()
+
+    # ------------------------------------------------------------------
+    def activity(self) -> dict[int, UserActivity]:
+        """Per-user activity aggregated over the window."""
+        users: dict[int, UserActivity] = {}
+        for entry in self._window:
+            for rnti, prbs in entry.allocations.items():
+                activity = users.setdefault(rnti, UserActivity())
+                activity.active_subframes += 1
+                activity.total_prbs += prbs
+        return users
+
+    def detected_users(self) -> set[int]:
+        """Every RNTI seen in the window (Figure 7a, 'All users')."""
+        return set(self.activity())
+
+    def data_users(self, include: int | None = None) -> set[int]:
+        """Users surviving the ``Ta > 1, Pa > 4`` filter.
+
+        ``include`` forces one RNTI (the monitor's own) into the result:
+        the mobile always counts itself as an active user when computing
+        its fair share, even before its own flow ramps up.
+        """
+        users = {
+            rnti for rnti, act in self.activity().items()
+            if act.active_subframes >= MIN_ACTIVE_SUBFRAMES
+            and act.average_prbs >= MIN_AVG_PRBS
+        }
+        if include is not None:
+            users.add(include)
+        return users
+
+    def data_user_count(self, include: int | None = None) -> int:
+        """The fair-share denominator ``N`` of Eqns. 1-3 (≥ 1)."""
+        return max(1, len(self.data_users(include)))

@@ -1,0 +1,186 @@
+"""The PBE measurement module: fused multi-cell capacity reports.
+
+:class:`PbeMonitor` is the mobile-side physical-layer measurement API
+the paper argues for (§1): it owns one control-channel decoder per
+configured cell, fuses their outputs by subframe, tracks which cells
+are currently activated for this user, and on demand produces a
+:class:`MonitorReport` containing the available capacity ``Cp``, the
+fair share ``Cf`` (Eqns. 1-3) and their transport-layer translations
+(Eqn. 5) for the congestion-control client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net.units import SUBFRAME_US, US_PER_S
+from ..phy.dci import SubframeRecord
+from .capacity import CellCapacityEstimator, CellEstimate
+from .decoder import ControlChannelDecoder, MessageFusion
+from .translation import TranslationTable
+
+#: A secondary cell with no grant for this user for this many subframes
+#: is considered deactivated by the network.
+SECONDARY_INACTIVE_TIMEOUT = 300
+
+
+@dataclass
+class MonitorReport:
+    """One capacity snapshot handed to the congestion-control client."""
+
+    subframe: int
+    #: Available physical capacity Cp, bits per subframe (Eqn. 3).
+    physical_capacity: float
+    #: Transport-layer translation Ct of Cp, bits per subframe (Eqn. 5).
+    transport_capacity: float
+    #: Fair-share physical capacity Cf, bits per subframe (Eqns. 1-2).
+    fair_share: float
+    #: Transport-layer translation of Cf.
+    transport_fair_share: float
+    #: Data users sharing each active cell ({cell_id: N_i}).
+    users_per_cell: dict
+    #: Cells currently activated for this user (primary first).
+    active_cells: list
+    #: True when a secondary cell was (re)activated since the last
+    #: report — the client restarts its fair-share approach (§4.1).
+    carrier_activated: bool
+    per_cell: list
+
+    @property
+    def transport_capacity_bps(self) -> float:
+        """Ct in bits/second (1 subframe = 1 ms)."""
+        return self.transport_capacity * US_PER_S / SUBFRAME_US
+
+    @property
+    def transport_fair_share_bps(self) -> float:
+        """Cf in bits/second."""
+        return self.transport_fair_share * US_PER_S / SUBFRAME_US
+
+
+class PbeMonitor:
+    """Mobile-endpoint physical-layer bandwidth measurement module."""
+
+    def __init__(self, own_rnti: int, cell_prbs: dict[int, int],
+                 primary_cell: int,
+                 own_rate_hint: Callable[[], tuple[int, float]],
+                 user_window_subframes: int = 40,
+                 decode_latency_subframes: int = 0,
+                 filter_control_users: bool = True,
+                 averaging_window_override: Optional[int] = None) -> None:
+        """``cell_prbs`` maps every *configured* cell id to its PRB count.
+
+        ``own_rate_hint()`` returns ``(bits_per_prb, ber)`` from the
+        UE's local channel measurements — used when the user has no
+        decoded allocation of its own to read its MCS from.
+
+        Ablation knobs: ``filter_control_users=False`` counts every
+        detected user in N; ``averaging_window_override`` replaces the
+        RTprop averaging window (1 = instantaneous estimates).
+        """
+        if primary_cell not in cell_prbs:
+            raise ValueError("primary cell must be configured")
+        if (averaging_window_override is not None
+                and averaging_window_override < 1):
+            raise ValueError("averaging window must be positive")
+        self.own_rnti = own_rnti
+        self.primary_cell = primary_cell
+        self.own_rate_hint = own_rate_hint
+        self.averaging_window_override = averaging_window_override
+        self.estimators = {
+            cell_id: CellCapacityEstimator(
+                cell_id, total, own_rnti, user_window_subframes,
+                filter_control_users=filter_control_users)
+            for cell_id, total in cell_prbs.items()}
+        self.fusion = MessageFusion(list(cell_prbs), self._on_snapshot)
+        self.decoders = {
+            cell_id: ControlChannelDecoder(
+                cell_id, self.fusion.on_record, decode_latency_subframes)
+            for cell_id in cell_prbs}
+        self.translation = TranslationTable()
+        self.last_subframe = -1
+        self._activation_pending = False
+        self._previously_active: set[int] = {primary_cell}
+
+    # ------------------------------------------------------------------
+    def decoder_callback(self, cell_id: int):
+        """The callable to attach to one cell's control channel."""
+        return self.decoders[cell_id].on_subframe
+
+    def set_primary(self, cell_id: int) -> None:
+        """Re-anchor on a new primary cell after a handover (§1).
+
+        The UE's RRC layer knows its serving cell; the monitor just
+        follows.  The target cell must be among the configured
+        decoders (a phone can only decode bands it is tuned to).
+        """
+        if cell_id not in self.estimators:
+            raise ValueError(f"cell {cell_id} has no decoder configured")
+        self.primary_cell = cell_id
+        self._previously_active = {cell_id}
+        self._activation_pending = False
+
+    def _on_snapshot(self, records: dict[int, SubframeRecord]) -> None:
+        rate, ber = self.own_rate_hint()
+        for cell_id, record in records.items():
+            self.estimators[cell_id].update(record, rate, ber)
+            self.last_subframe = max(self.last_subframe, record.subframe)
+        active = set(self.active_cells())
+        newly_active = active - self._previously_active
+        if newly_active:
+            self._activation_pending = True
+        self._previously_active = active
+
+    # ------------------------------------------------------------------
+    def active_cells(self) -> list[int]:
+        """Cells currently activated for this user, primary first.
+
+        The primary cell is always active; a secondary counts as active
+        while the user has received a grant on it recently (its
+        deactivation is not announced to the UE in a way our decoder
+        models, so we age it out — §3's deactivation is driven by the
+        network observing unused capacity).
+        """
+        cells = [self.primary_cell]
+        for cell_id, est in self.estimators.items():
+            if cell_id == self.primary_cell:
+                continue
+            age = self.last_subframe - est.last_own_grant_subframe
+            if (est.last_own_grant_subframe >= 0
+                    and age <= SECONDARY_INACTIVE_TIMEOUT):
+                cells.append(cell_id)
+        return cells
+
+    def report(self, rtprop_subframes: int) -> MonitorReport:
+        """Produce the capacity snapshot for the current subframe.
+
+        ``rtprop_subframes`` sets the averaging window (§4.2.1: average
+        over the most recent RTprop worth of subframes).
+        """
+        window = max(1, rtprop_subframes)
+        if self.averaging_window_override is not None:
+            window = self.averaging_window_override
+        active = self.active_cells()
+        estimates: list[CellEstimate] = [
+            self.estimators[cell_id].estimate(window)
+            for cell_id in active]
+        # §4.1: per-cell rates are computed separately and summed, so the
+        # Eqn. 5 TB-size term uses each carrier's own transport-block
+        # size rather than pretending the aggregate is one giant TB.
+        cp = sum(e.physical_capacity for e in estimates)
+        cf = sum(e.fair_share for e in estimates)
+        ct = sum(self.translation.transport_rate(e.physical_capacity,
+                                                 e.mean_ber)
+                 for e in estimates)
+        cf_t = sum(self.translation.transport_rate(e.fair_share,
+                                                   e.mean_ber)
+                   for e in estimates)
+        activated = self._activation_pending
+        self._activation_pending = False
+        return MonitorReport(
+            subframe=self.last_subframe,
+            physical_capacity=cp, transport_capacity=ct,
+            fair_share=cf, transport_fair_share=cf_t,
+            users_per_cell={e.cell_id: e.users for e in estimates},
+            active_cells=active, carrier_activated=activated,
+            per_cell=estimates)

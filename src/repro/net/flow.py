@@ -1,0 +1,55 @@
+"""Per-flow delivery records.
+
+:class:`FlowStats` is the raw measurement log every experiment consumes:
+each delivered data packet appends an arrival timestamp, its size and its
+one-way delay.  Windowed throughput and delay order statistics are
+computed by :mod:`repro.harness.metrics` from these records, mirroring
+the paper's convention of 100-millisecond measurement windows.
+"""
+
+from __future__ import annotations
+
+from .units import US_PER_MS, US_PER_S
+
+
+class FlowStats:
+    """Append-only log of packet deliveries for one flow."""
+
+    def __init__(self, flow_id: int) -> None:
+        self.flow_id = flow_id
+        #: Arrival timestamps, µs.
+        self.arrival_us: list[int] = []
+        #: Packet sizes, bits.
+        self.size_bits: list[int] = []
+        #: One-way delays, µs.
+        self.delay_us: list[int] = []
+        self.first_arrival_us: int = -1
+        self.last_arrival_us: int = -1
+        self.total_bits: int = 0
+
+    def record(self, arrival_us: int, size_bits: int, delay_us: int) -> None:
+        """Log one delivered packet."""
+        if self.first_arrival_us < 0:
+            self.first_arrival_us = arrival_us
+        self.last_arrival_us = arrival_us
+        self.arrival_us.append(arrival_us)
+        self.size_bits.append(size_bits)
+        self.delay_us.append(delay_us)
+        self.total_bits += size_bits
+
+    # ------------------------------------------------------------------
+    @property
+    def packets(self) -> int:
+        """Number of delivered packets."""
+        return len(self.arrival_us)
+
+    def average_throughput_bps(self) -> float:
+        """Mean goodput across the flow's active span."""
+        span = self.last_arrival_us - self.first_arrival_us
+        if span <= 0:
+            return 0.0
+        return self.total_bits * US_PER_S / span
+
+    def delays_ms(self) -> list[float]:
+        """All one-way delays in milliseconds."""
+        return [d / US_PER_MS for d in self.delay_us]

@@ -1,0 +1,192 @@
+"""Wired network links with droptail queues.
+
+Two flavours:
+
+* :class:`Link` — a store-and-forward link with finite rate, propagation
+  delay and a droptail queue.  Used for the Internet segment of the
+  end-to-end path (and as the Internet *bottleneck* when its rate is set
+  below the cellular capacity).
+* :class:`DelayPipe` — an infinite-rate, pure-propagation-delay pipe.
+  Used for ACK return paths and non-bottleneck segments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .packet import Packet
+from .sim import Simulator
+from .units import transmission_time_us
+
+
+class Receiver:
+    """Anything that can accept a packet (duck-typed protocol)."""
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DelayPipe(Receiver):
+    """Infinite-bandwidth link: every packet arrives ``delay_us`` later."""
+
+    def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
+                 name: str = "pipe") -> None:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.sink = sink
+        self.delay_us = delay_us
+        self.name = name
+        self.forwarded = 0
+
+    def receive(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.forwarded += 1
+        self.sim.schedule(self.delay_us, self.sink.receive, packet)
+
+
+class BatchingPipe(Receiver):
+    """Pure-delay pipe that releases packets in periodic batches.
+
+    Models the LTE *uplink* path for ACKs: a mobile cannot transmit
+    whenever it likes — uplink transmissions ride on the scheduling-
+    request/grant cycle, so ACKs leave the phone in bursts every few
+    milliseconds.  Client-side one-way-delay measurements never see
+    this, but sender-side RTT/delay estimators do (it is a major source
+    of the "ACK delay, ACK compression" problems §2 attributes to
+    delay-based schemes on cellular paths).
+    """
+
+    def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
+                 batch_interval_us: int = 5_000,
+                 name: str = "uplink") -> None:
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        if batch_interval_us < 1:
+            raise ValueError("batch interval must be positive")
+        self.sim = sim
+        self.sink = sink
+        self.delay_us = delay_us
+        self.batch_interval_us = batch_interval_us
+        self.name = name
+        self._held: list[Packet] = []
+        self.forwarded = 0
+        self.batches = 0
+
+    def receive(self, packet: Packet) -> None:
+        packet.hops += 1
+        if not self._held:
+            # Align the flush to the next grant boundary.
+            interval = self.batch_interval_us
+            wait = interval - (self.sim.now % interval)
+            self.sim.schedule(wait, self._flush)
+        self._held.append(packet)
+
+    def _flush(self) -> None:
+        batch, self._held = self._held, []
+        self.batches += 1
+        for packet in batch:
+            self.forwarded += 1
+            self.sim.schedule(self.delay_us, self.sink.receive, packet)
+
+
+class Link(Receiver):
+    """Finite-rate link with a droptail FIFO queue.
+
+    Packets are serialized one at a time at ``rate_bps``; each then
+    propagates for ``delay_us`` before reaching ``sink``.  When the queue
+    holds ``queue_packets`` packets, further arrivals are dropped (and
+    counted), which is what loss-based congestion control reacts to.
+    """
+
+    def __init__(self, sim: Simulator, sink: Receiver, rate_bps: float,
+                 delay_us: int, queue_packets: int = 1000,
+                 name: str = "link") -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if queue_packets < 1:
+            raise ValueError("queue must hold at least one packet")
+        self.sim = sim
+        self.sink = sink
+        self.rate_bps = rate_bps
+        self.delay_us = delay_us
+        self.queue_packets = queue_packets
+        self.name = name
+
+        self._queue: deque[Packet] = deque()
+        self._transmitting = False
+
+        self.forwarded = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently queued (excluding the one being serialized)."""
+        return len(self._queue)
+
+    def queue_delay_estimate_us(self, size_bits: int) -> int:
+        """Rough serialization delay a new arrival of ``size_bits`` sees."""
+        backlog = sum(p.size_bits for p in self._queue) + size_bits
+        return transmission_time_us(backlog, self.rate_bps)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if len(self._queue) >= self.queue_packets:
+            self.dropped += 1
+            return
+        packet.hops += 1
+        self._queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        tx_us = transmission_time_us(packet.size_bits, self.rate_bps)
+        self.sim.schedule(tx_us, self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        self.forwarded += 1
+        self.sim.schedule(self.delay_us, self.sink.receive, packet)
+        self._start_next()
+
+
+class FlowDemux(Receiver):
+    """Route packets to per-flow sinks by ``flow_id``.
+
+    Used behind a shared bottleneck :class:`Link`: several senders pour
+    into one queue, and the demux fans the survivors out to each flow's
+    cellular ingress (the §4.2.3 shared-Internet-bottleneck topology).
+    """
+
+    def __init__(self, routes: Optional[dict] = None) -> None:
+        self._routes: dict[int, Receiver] = dict(routes or {})
+        self.unrouted = 0
+
+    def add_route(self, flow_id: int, sink: Receiver) -> None:
+        self._routes[flow_id] = sink
+
+    def receive(self, packet: Packet) -> None:
+        sink = self._routes.get(packet.flow_id)
+        if sink is None:
+            self.unrouted += 1
+            return
+        sink.receive(packet)
+
+
+class PacketSink(Receiver):
+    """Terminal node that records everything it receives (tests/debug)."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim
+        self.packets: list[Packet] = []
+
+    def receive(self, packet: Packet) -> None:
+        if self.sim is not None:
+            packet.recv_time_us = self.sim.now
+        self.packets.append(packet)

@@ -1,0 +1,123 @@
+"""Component carriers and per-user carrier-aggregation state (§3).
+
+By default a user is served by its *primary* component carrier (CC).
+When a user's traffic exceeds what the serving cell(s) can carry, the
+network activates the next *secondary* CC from the user's configured
+aggregation list, and deactivates it again once the extra capacity goes
+unused (Figure 2).  The activation policy itself lives in
+:class:`repro.cell.ca_manager.CarrierAggregationManager`; this module
+holds the static carrier descriptions and the per-user activation state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .prb import prbs_for_bandwidth
+
+
+@dataclass(frozen=True)
+class CarrierConfig:
+    """Static description of one component carrier (one cell).
+
+    ``prb_override`` sets the PRB count directly for non-LTE grids —
+    5G NR carriers have their own bandwidth/SCS tables (e.g. a 100 MHz
+    NR carrier at 30 kHz subcarrier spacing exposes 273 PRBs).  Use
+    :func:`nr_carrier` for the common NR configurations.
+    """
+
+    cell_id: int
+    bandwidth_mhz: float = 20.0
+    frequency_ghz: float = 1.94
+    prb_override: int = 0
+
+    @property
+    def total_prbs(self) -> int:
+        """PRBs available per subframe on this carrier."""
+        if self.prb_override:
+            return self.prb_override
+        return prbs_for_bandwidth(self.bandwidth_mhz)
+
+
+#: 5G NR FR1 bandwidth (MHz) → PRB count at 30 kHz subcarrier spacing
+#: (3GPP TS 38.101-1 Table 5.3.2-1).
+NR_PRBS_30KHZ = {
+    20.0: 51,
+    40.0: 106,
+    50.0: 133,
+    60.0: 162,
+    80.0: 217,
+    100.0: 273,
+}
+
+
+def nr_carrier(cell_id: int, bandwidth_mhz: float = 100.0,
+               frequency_ghz: float = 3.5) -> CarrierConfig:
+    """A 5G NR FR1 component carrier (30 kHz SCS).
+
+    The scheduler still works on 1 ms intervals — for 30 kHz SCS that
+    aggregates two 0.5 ms slots per decision, which leaves per-PRB-pair
+    rates identical and only coarsens scheduling granularity slightly.
+    """
+    try:
+        prbs = NR_PRBS_30KHZ[float(bandwidth_mhz)]
+    except KeyError:
+        valid = sorted(NR_PRBS_30KHZ)
+        raise ValueError(
+            f"non-standard NR bandwidth {bandwidth_mhz} MHz; "
+            f"expected one of {valid}") from None
+    return CarrierConfig(cell_id=cell_id, bandwidth_mhz=bandwidth_mhz,
+                         frequency_ghz=frequency_ghz,
+                         prb_override=prbs)
+
+
+@dataclass
+class AggregationState:
+    """One user's carrier-aggregation state.
+
+    ``configured`` is the ordered list of cell ids the network may
+    aggregate for this user (primary first); ``active_count`` says how
+    many of them are currently activated (always ≥ 1: the primary cell
+    can never be deactivated).
+    """
+
+    configured: list[int] = field(default_factory=list)
+    active_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.configured:
+            raise ValueError("a user needs at least a primary cell")
+        if not 1 <= self.active_count <= len(self.configured):
+            raise ValueError("active_count out of range")
+
+    @property
+    def primary_cell(self) -> int:
+        return self.configured[0]
+
+    @property
+    def active_cells(self) -> list[int]:
+        """Cell ids currently serving this user, primary first."""
+        return self.configured[:self.active_count]
+
+    @property
+    def can_activate(self) -> bool:
+        return self.active_count < len(self.configured)
+
+    @property
+    def can_deactivate(self) -> bool:
+        return self.active_count > 1
+
+    def activate_next(self) -> int:
+        """Activate the next configured cell; returns its id."""
+        if not self.can_activate:
+            raise ValueError("all configured cells already active")
+        self.active_count += 1
+        return self.configured[self.active_count - 1]
+
+    def deactivate_last(self) -> int:
+        """Deactivate the most recently activated cell; returns its id."""
+        if not self.can_deactivate:
+            raise ValueError("primary cell cannot be deactivated")
+        cell = self.configured[self.active_count - 1]
+        self.active_count -= 1
+        return cell

@@ -1,0 +1,127 @@
+"""Wireless channel models.
+
+The paper's capacity fluctuations come from three sources (§1): shared-
+medium competition, carrier (de)activation, and wireless channel quality
+varying at the channel coherence time.  The competition and carrier
+dynamics are modelled by the MAC layer (:mod:`repro.cell`); this module
+models the third source — a per-user SINR process sampled once per
+subframe, from which MCS, physical rate and bit error rate derive.
+
+Models:
+
+* :class:`StaticChannel` — constant SINR plus optional fast-fading
+  jitter.  Stationary-location experiments (§6.3.1).
+* :class:`GaussMarkovChannel` — AR(1) shadowing around a mean SINR, the
+  usual Gauss-Markov mobility-fading abstraction.
+* :class:`TraceChannel` — piecewise-linear RSSI trajectory, used for the
+  scripted mobility experiments of Figures 16-17.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Thermal noise floor plus typical interference margin for a 20 MHz
+#: carrier, dBm.  RSSI −85 dBm maps to ≈26 dB SINR and −113 dBm to ≈−2 dB,
+#: spanning the paper's measurement locations.
+NOISE_FLOOR_DBM = -111.0
+
+
+def rssi_to_sinr_db(rssi_dbm: float,
+                    noise_floor_dbm: float = NOISE_FLOOR_DBM) -> float:
+    """Convert a received signal strength to an SINR estimate."""
+    return rssi_dbm - noise_floor_dbm
+
+
+class ChannelModel:
+    """Base class: a subframe-sampled SINR process."""
+
+    def sinr_db(self, now_us: int) -> float:  # pragma: no cover
+        """SINR (dB) seen by the user at simulation time ``now_us``."""
+        raise NotImplementedError
+
+
+class StaticChannel(ChannelModel):
+    """Constant mean SINR with i.i.d. Gaussian fast-fading jitter."""
+
+    def __init__(self, mean_sinr_db: float, fading_std_db: float = 0.0,
+                 seed: int = 0) -> None:
+        if fading_std_db < 0:
+            raise ValueError("fading std must be non-negative")
+        self.mean_sinr_db = mean_sinr_db
+        self.fading_std_db = fading_std_db
+        self._rng = np.random.default_rng(seed)
+
+    def sinr_db(self, now_us: int) -> float:
+        if self.fading_std_db == 0.0:
+            return self.mean_sinr_db
+        return self.mean_sinr_db + self._rng.normal(0.0, self.fading_std_db)
+
+
+class GaussMarkovChannel(ChannelModel):
+    """AR(1) shadowing process: ``s[k+1] = a·s[k] + (1-a)·noise``.
+
+    ``coherence_us`` controls how often the shadowing state advances —
+    the wireless channel coherence time of §1, which can be milliseconds
+    under vehicular mobility.
+    """
+
+    def __init__(self, mean_sinr_db: float, std_db: float = 3.0,
+                 memory: float = 0.95, coherence_us: int = 10_000,
+                 seed: int = 0) -> None:
+        if not 0.0 <= memory < 1.0:
+            raise ValueError("memory must be in [0, 1)")
+        if coherence_us <= 0:
+            raise ValueError("coherence time must be positive")
+        self.mean_sinr_db = mean_sinr_db
+        self.std_db = std_db
+        self.memory = memory
+        self.coherence_us = coherence_us
+        self._rng = np.random.default_rng(seed)
+        self._state = 0.0
+        self._last_step = -1
+
+    def sinr_db(self, now_us: int) -> float:
+        step = now_us // self.coherence_us
+        while self._last_step < step:
+            innovation = self._rng.normal(0.0, self.std_db)
+            self._state = (self.memory * self._state
+                           + math.sqrt(1 - self.memory ** 2) * innovation)
+            self._last_step += 1
+        return self.mean_sinr_db + self._state
+
+
+class TraceChannel(ChannelModel):
+    """Piecewise-linear RSSI trajectory (mobility experiments).
+
+    ``waypoints`` is a sequence of ``(time_us, rssi_dbm)`` pairs sorted
+    by time; RSSI is linearly interpolated between waypoints and held
+    constant beyond the ends.  Optional fading jitter rides on top.
+    """
+
+    def __init__(self, waypoints: Sequence[tuple[int, float]],
+                 fading_std_db: float = 1.0, seed: int = 0,
+                 noise_floor_dbm: float = NOISE_FLOOR_DBM) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("need at least one waypoint")
+        times = [t for t, _ in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        self._times = np.asarray(times, dtype=np.int64)
+        self._rssi = np.asarray([r for _, r in waypoints], dtype=np.float64)
+        self.fading_std_db = fading_std_db
+        self.noise_floor_dbm = noise_floor_dbm
+        self._rng = np.random.default_rng(seed)
+
+    def rssi_dbm(self, now_us: int) -> float:
+        """Interpolated RSSI along the trajectory."""
+        return float(np.interp(now_us, self._times, self._rssi))
+
+    def sinr_db(self, now_us: int) -> float:
+        sinr = rssi_to_sinr_db(self.rssi_dbm(now_us), self.noise_floor_dbm)
+        if self.fading_std_db > 0:
+            sinr += self._rng.normal(0.0, self.fading_std_db)
+        return sinr

@@ -1,0 +1,18 @@
+"""Workload, mobility and cell-activity trace generators.
+
+Everything the experiments need that the paper obtained from the real
+world: offered-load schedules, random background users, scripted RSSI
+trajectories and diurnal cell populations.
+"""
+
+from .cellactivity import DIURNAL_SHAPE, DiurnalCellActivity, paper_cells
+from .mobility import paper_trajectory, random_walk_trajectory
+from .replay import CapacityTrace, TraceLink
+from .workload import CbrDemand, OnOffRandomDemand, ScheduledDemand
+
+__all__ = [
+    "CbrDemand", "DIURNAL_SHAPE", "DiurnalCellActivity",
+    "CapacityTrace", "OnOffRandomDemand", "ScheduledDemand",
+    "TraceLink", "paper_cells",
+    "paper_trajectory", "random_walk_trajectory",
+]

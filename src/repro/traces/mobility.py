@@ -1,0 +1,58 @@
+"""Mobility trajectories (§6.3.2, Figures 16-17).
+
+The paper's mobility experiment moves the phone from an RSSI of
+−85 dBm to −105 dBm over 13 seconds, back at a faster speed in about
+4 seconds, then holds — a 40-second script.  :func:`paper_trajectory`
+builds exactly that trace; :func:`random_walk_trajectory` provides a
+generic stochastic alternative for wider testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.units import US_PER_S
+from ..phy.channel import TraceChannel
+
+
+def paper_trajectory(strong_rssi_dbm: float = -85.0,
+                     weak_rssi_dbm: float = -105.0,
+                     fading_std_db: float = 1.5,
+                     time_scale: float = 1.0,
+                     seed: int = 0) -> TraceChannel:
+    """The §6.3.2 script: 13 s hold, 13 s out, 4 s back, 10 s hold.
+
+    ``time_scale`` shrinks/stretches the whole 40-second script (the
+    benchmarks run a compressed version to bound runtimes).
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    s = US_PER_S * time_scale
+    waypoints = [
+        (0, strong_rssi_dbm),
+        (int(13 * s), strong_rssi_dbm),  # stationary at the start point
+        (int(26 * s), weak_rssi_dbm),    # slow move out
+        (int(30 * s), strong_rssi_dbm),  # fast move back
+        (int(40 * s), strong_rssi_dbm),  # stationary again
+    ]
+    return TraceChannel(waypoints, fading_std_db=fading_std_db, seed=seed)
+
+
+def random_walk_trajectory(duration_s: float, mean_rssi_dbm: float = -95.0,
+                           step_db: float = 3.0, interval_s: float = 2.0,
+                           bounds_dbm: tuple[float, float] = (-113.0, -80.0),
+                           fading_std_db: float = 1.5,
+                           seed: int = 0) -> TraceChannel:
+    """A bounded Gaussian random walk in RSSI."""
+    if duration_s <= 0 or interval_s <= 0:
+        raise ValueError("durations must be positive")
+    rng = np.random.default_rng(seed)
+    lo, hi = bounds_dbm
+    waypoints = []
+    rssi = mean_rssi_dbm
+    t = 0.0
+    while t <= duration_s:
+        waypoints.append((int(t * US_PER_S), rssi))
+        rssi = float(np.clip(rssi + rng.normal(0.0, step_db), lo, hi))
+        t += interval_s
+    return TraceChannel(waypoints, fading_std_db=fading_std_db, seed=seed)

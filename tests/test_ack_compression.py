@@ -1,0 +1,44 @@
+"""The ACK-compression mechanism claim (§2, DESIGN.md substitution).
+
+The uplink scheduling-grant cycle batches ACKs, which inflates
+sender-side RTT samples with up to one grant period of jitter.  These
+tests pin down the mechanism: delay-based schemes (Copa) collapse
+under it, while PBE-CC — whose capacity signal is measured at the
+*receiver* — is essentially unaffected.
+"""
+
+import pytest
+
+from repro.harness import Scenario, run_flow
+from repro.phy.carrier import CarrierConfig
+
+
+def _run(scheme, batch_us):
+    scenario = Scenario(
+        name=f"ackc-{scheme}-{batch_us}",
+        carriers=[CarrierConfig(0, 10.0)], aggregated_cells=1,
+        mean_sinr_db=17.0, fading_std_db=0.5,
+        uplink_batch_us=batch_us, duration_s=4.0, seed=25)
+    return run_flow(scenario, scheme)
+
+
+def test_copa_collapses_under_ack_batching():
+    smooth = _run("copa", batch_us=1)        # effectively no batching
+    batched = _run("copa", batch_us=5_000)   # LTE grant cycle
+    assert (batched.summary.average_throughput_bps
+            < 0.6 * smooth.summary.average_throughput_bps)
+
+
+def test_pbe_immune_to_ack_batching():
+    smooth = _run("pbe", batch_us=1)
+    batched = _run("pbe", batch_us=5_000)
+    assert batched.summary.average_throughput_bps == pytest.approx(
+        smooth.summary.average_throughput_bps, rel=0.1)
+
+
+def test_cubic_immune_to_ack_batching():
+    # Loss-based control does not care about RTT jitter.
+    smooth = _run("cubic", batch_us=1)
+    batched = _run("cubic", batch_us=5_000)
+    assert batched.summary.average_throughput_bps == pytest.approx(
+        smooth.summary.average_throughput_bps, rel=0.15)

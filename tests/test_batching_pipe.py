@@ -1,0 +1,81 @@
+"""Tests for the uplink ACK-batching pipe."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.link import BatchingPipe, PacketSink
+from repro.net.packet import Packet
+from repro.net.sim import Simulator
+
+
+def _packet(seq):
+    return Packet(flow_id=1, seq=seq, size_bits=360)
+
+
+def test_single_packet_waits_for_grant_boundary():
+    sim = Simulator()
+    sink = PacketSink(sim)
+    pipe = BatchingPipe(sim, sink, delay_us=10_000,
+                        batch_interval_us=5_000)
+    sim.schedule(1_200, pipe.receive, _packet(0))
+    sim.run()
+    # Held until the 5 ms boundary, then 10 ms propagation.
+    assert sink.packets[0].recv_time_us == 5_000 + 10_000
+
+
+def test_packets_in_same_interval_released_together():
+    sim = Simulator()
+    sink = PacketSink(sim)
+    pipe = BatchingPipe(sim, sink, delay_us=0, batch_interval_us=5_000)
+    for t, seq in ((100, 0), (2_000, 1), (4_900, 2)):
+        sim.schedule(t, pipe.receive, _packet(seq))
+    sim.run()
+    assert [p.recv_time_us for p in sink.packets] == [5_000] * 3
+    assert pipe.batches == 1
+
+
+def test_later_packet_takes_next_batch():
+    sim = Simulator()
+    sink = PacketSink(sim)
+    pipe = BatchingPipe(sim, sink, delay_us=0, batch_interval_us=5_000)
+    sim.schedule(100, pipe.receive, _packet(0))
+    sim.schedule(6_000, pipe.receive, _packet(1))
+    sim.run()
+    assert [p.recv_time_us for p in sink.packets] == [5_000, 10_000]
+    assert pipe.batches == 2
+
+
+def test_order_preserved_within_batch():
+    sim = Simulator()
+    sink = PacketSink(sim)
+    pipe = BatchingPipe(sim, sink, delay_us=0, batch_interval_us=5_000)
+    for seq in range(5):
+        sim.schedule(100 + seq, pipe.receive, _packet(seq))
+    sim.run()
+    assert [p.seq for p in sink.packets] == list(range(5))
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BatchingPipe(sim, PacketSink(), delay_us=-1)
+    with pytest.raises(ValueError):
+        BatchingPipe(sim, PacketSink(), delay_us=0, batch_interval_us=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50_000), min_size=1,
+                max_size=30))
+def test_every_packet_arrives_with_bounded_extra_delay(send_times):
+    sim = Simulator()
+    sink = PacketSink(sim)
+    pipe = BatchingPipe(sim, sink, delay_us=7_000,
+                        batch_interval_us=5_000)
+    for i, t in enumerate(sorted(send_times)):
+        packet = _packet(i)
+        packet.sent_time_us = t
+        sim.schedule(t, pipe.receive, packet)
+    sim.run()
+    assert len(sink.packets) == len(send_times)
+    for packet in sink.packets:
+        extra = packet.recv_time_us - packet.sent_time_us - 7_000
+        assert 0 <= extra <= 5_000  # at most one grant period

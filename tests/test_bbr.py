@@ -1,0 +1,134 @@
+"""Unit tests for the BBR implementation."""
+
+import pytest
+
+from repro.baselines.base import AckContext
+from repro.baselines.bbr import (
+    DRAIN,
+    PROBE_BW,
+    PROBE_BW_GAINS,
+    PROBE_RTT,
+    STARTUP,
+    STARTUP_GAIN,
+    Bbr,
+)
+from repro.net.packet import Packet
+
+
+def _ack(now_us, rtt_us=40_000, rate_bps=50e6, bits=12_000,
+         inflight=120_000, app_limited=False):
+    ack = Packet(1, 0, is_ack=True)
+    return AckContext(ack=ack, now_us=now_us, rtt_us=rtt_us,
+                      delivery_rate_bps=rate_bps, newly_acked_bits=bits,
+                      inflight_bits=inflight, app_limited=app_limited)
+
+
+def _feed(bbr, start_us, count, gap_us=1_000, **kw):
+    t = start_us
+    for _ in range(count):
+        bbr.on_ack(_ack(t, **kw))
+        t += gap_us
+    return t
+
+
+def test_starts_in_startup_with_high_gain():
+    bbr = Bbr()
+    assert bbr.state == STARTUP
+    assert bbr.pacing_gain == pytest.approx(STARTUP_GAIN)
+    assert bbr.pacing_rate_bps(0) == bbr.initial_rate_bps
+
+
+def test_filters_track_ack_stream():
+    bbr = Bbr()
+    _feed(bbr, 0, 50, rate_bps=80e6, rtt_us=30_000)
+    assert bbr.btlbw_bps == pytest.approx(80e6)
+    assert bbr.rtprop_us == 30_000
+
+
+def test_app_limited_samples_ignored_by_btlbw():
+    bbr = Bbr()
+    _feed(bbr, 0, 20, rate_bps=80e6)
+    _feed(bbr, 20_000, 20, rate_bps=500e6, app_limited=True)
+    assert bbr.btlbw_bps == pytest.approx(80e6)
+
+
+def test_startup_exits_on_bandwidth_plateau():
+    bbr = Bbr()
+    # Constant delivery rate: three rounds without 25% growth.
+    _feed(bbr, 0, 1200, rate_bps=50e6)
+    assert bbr.filled_pipe
+    assert bbr.state in (DRAIN, PROBE_BW)
+
+
+def test_drain_enters_probe_bw_when_inflight_drops():
+    bbr = Bbr()
+    _feed(bbr, 0, 1200, rate_bps=50e6, inflight=10**7)
+    assert bbr.state == DRAIN
+    bbr.on_ack(_ack(1_500_000, inflight=0))
+    assert bbr.state == PROBE_BW
+
+
+def test_probe_bw_cycles_through_gains():
+    bbr = Bbr()
+    _feed(bbr, 0, 1200, rate_bps=50e6, inflight=0)
+    assert bbr.state == PROBE_BW
+    seen = set()
+    t = 1_500_000
+    for _ in range(400):
+        bbr.on_ack(_ack(t, inflight=0))
+        seen.add(bbr.pacing_gain)
+        t += 1_000
+    assert seen == set(PROBE_BW_GAINS)
+
+
+def test_probe_rate_cap_limits_probing_gain():
+    cap_holder = {"cap": 55e6}
+    bbr = Bbr(probe_rate_cap=lambda: cap_holder["cap"])
+    _feed(bbr, 0, 1200, rate_bps=50e6, inflight=0)
+    t = 1_500_000
+    rates = []
+    for _ in range(400):
+        bbr.on_ack(_ack(t, inflight=0))
+        rates.append(bbr.pacing_rate_bps(t))
+        t += 1_000
+    # Probing phases capped at Cf=55M rather than 1.25*50M=62.5M.
+    assert max(rates) <= 55e6 * 1.001
+    # The cap never pushes the rate below BtlBw itself.
+    cap_holder["cap"] = 10e6
+    bbr.pacing_gain = 1.25
+    assert bbr.pacing_rate_bps(t) >= 50e6 * 0.999
+
+
+def test_cwnd_is_two_bdp_in_probe_bw():
+    bbr = Bbr()
+    _feed(bbr, 0, 1200, rate_bps=50e6, rtt_us=40_000, inflight=0)
+    assert bbr.state == PROBE_BW
+    expected = 2.0 * 50e6 * 0.040
+    assert bbr.cwnd_bits(0) == pytest.approx(expected, rel=0.05)
+
+
+def test_probe_rtt_after_stale_rtprop():
+    bbr = Bbr()
+    _feed(bbr, 0, 1200, rate_bps=50e6, inflight=0)
+    # 12 seconds with no new RTT minimum.
+    t = 12_000_000
+    bbr.on_ack(_ack(t, rtt_us=50_000, inflight=0))
+    assert bbr.state == PROBE_RTT
+    assert bbr.cwnd_bits(t) == 4 * bbr.mss_bits
+    # After 200 ms at low inflight it returns to PROBE_BW.
+    bbr.on_ack(_ack(t + 1_000, rtt_us=50_000, inflight=0))
+    bbr.on_ack(_ack(t + 250_000, rtt_us=50_000, inflight=0))
+    assert bbr.state == PROBE_BW
+
+
+def test_timeout_resets_to_startup():
+    bbr = Bbr()
+    _feed(bbr, 0, 1200, rate_bps=50e6, inflight=0)
+    bbr.on_timeout(1_000_000)
+    assert bbr.state == STARTUP
+    assert not bbr.filled_pipe
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Bbr(initial_rate_bps=0)

@@ -1,0 +1,89 @@
+"""Tests for wireless channel models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    NOISE_FLOOR_DBM,
+    GaussMarkovChannel,
+    StaticChannel,
+    TraceChannel,
+    rssi_to_sinr_db,
+)
+
+
+def test_rssi_to_sinr_spans_paper_locations():
+    # -85 dBm (strong) and -113 dBm (weak) should bracket usable SINR.
+    strong = rssi_to_sinr_db(-85.0)
+    weak = rssi_to_sinr_db(-113.0)
+    assert strong > 20.0
+    assert weak < 0.0
+    assert strong - weak == pytest.approx(28.0)
+
+
+def test_static_channel_constant_without_fading():
+    ch = StaticChannel(17.5)
+    assert all(ch.sinr_db(t) == 17.5 for t in (0, 1_000, 10**9))
+
+
+def test_static_channel_fading_jitters_around_mean():
+    ch = StaticChannel(15.0, fading_std_db=2.0, seed=1)
+    samples = np.array([ch.sinr_db(t) for t in range(2_000)])
+    assert abs(samples.mean() - 15.0) < 0.3
+    assert 1.5 < samples.std() < 2.5
+
+
+def test_static_channel_rejects_negative_std():
+    with pytest.raises(ValueError):
+        StaticChannel(10.0, fading_std_db=-1.0)
+
+
+def test_gauss_markov_is_deterministic_per_seed():
+    a = GaussMarkovChannel(12.0, seed=3)
+    b = GaussMarkovChannel(12.0, seed=3)
+    for t in range(0, 200_000, 1_000):
+        assert a.sinr_db(t) == b.sinr_db(t)
+
+
+def test_gauss_markov_holds_within_coherence_interval():
+    ch = GaussMarkovChannel(12.0, coherence_us=10_000, seed=5)
+    assert ch.sinr_db(1_000) == ch.sinr_db(9_999)
+    # A new coherence interval may (and generally does) differ.
+    values = {ch.sinr_db(t) for t in range(0, 100_000, 10_000)}
+    assert len(values) > 1
+
+
+def test_gauss_markov_stationary_around_mean():
+    ch = GaussMarkovChannel(12.0, std_db=3.0, memory=0.9,
+                            coherence_us=1_000, seed=7)
+    samples = np.array([ch.sinr_db(t) for t in range(0, 3_000_000, 1_000)])
+    assert abs(samples.mean() - 12.0) < 1.0
+    assert samples.std() < 6.0
+
+
+def test_gauss_markov_validation():
+    with pytest.raises(ValueError):
+        GaussMarkovChannel(10.0, memory=1.0)
+    with pytest.raises(ValueError):
+        GaussMarkovChannel(10.0, coherence_us=0)
+
+
+def test_trace_channel_interpolates():
+    ch = TraceChannel([(0, -85.0), (1_000_000, -105.0)], fading_std_db=0.0)
+    assert ch.rssi_dbm(0) == -85.0
+    assert ch.rssi_dbm(500_000) == -95.0
+    assert ch.rssi_dbm(1_000_000) == -105.0
+    # Held constant beyond the ends.
+    assert ch.rssi_dbm(2_000_000) == -105.0
+
+
+def test_trace_channel_sinr_uses_noise_floor():
+    ch = TraceChannel([(0, -85.0)], fading_std_db=0.0)
+    assert ch.sinr_db(0) == pytest.approx(-85.0 - NOISE_FLOOR_DBM)
+
+
+def test_trace_channel_validation():
+    with pytest.raises(ValueError):
+        TraceChannel([])
+    with pytest.raises(ValueError):
+        TraceChannel([(0, -85.0), (0, -90.0)])

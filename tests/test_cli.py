@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.harness.runner import SCHEMES
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for scheme in SCHEMES:
+        assert scheme in out
+    for experiment in EXPERIMENTS:
+        assert experiment in out
+
+
+def test_run_command_executes_flow(capsys):
+    assert main(["run", "--scheme", "bbr", "--duration", "1",
+                 "--carriers", "1", "--sinr", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "bbr" in out
+    assert "tput" in out
+
+
+def test_run_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheme", "warp-drive"])
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--schemes", "bbr,cubic", "--duration",
+                 "1", "--carriers", "1", "--sinr", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "bbr" in out and "cubic" in out
+
+
+def test_experiment_command_cheap(capsys):
+    assert main(["experiment", "fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+
+
+def test_experiment_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

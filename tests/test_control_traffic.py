@@ -1,0 +1,65 @@
+"""Tests for the parameter-update (control-plane) traffic generator."""
+
+import numpy as np
+
+from repro.cell.control_traffic import (
+    CONTROL_RNTI_BASE,
+    ControlTrafficGenerator,
+)
+
+
+def test_zero_rate_generates_nothing():
+    gen = ControlTrafficGenerator(arrivals_per_subframe=0.0)
+    assert all(gen.tick() == [] for _ in range(100))
+
+
+def test_rntis_are_unique_and_in_control_range():
+    gen = ControlTrafficGenerator(arrivals_per_subframe=2.0, seed=1)
+    seen = []
+    for _ in range(200):
+        seen.extend(b.rnti for b in gen.tick())
+    # Every burst in a subframe is a distinct appearance, but RNTIs of
+    # *new* users never repeat after their burst ends.
+    assert all(r >= CONTROL_RNTI_BASE for r in seen)
+
+
+def test_arrival_rate_calibration():
+    gen = ControlTrafficGenerator(arrivals_per_subframe=0.4, seed=2)
+    new_users = set()
+    for _ in range(10_000):
+        for burst in gen.tick():
+            new_users.add(burst.rnti)
+    rate = len(new_users) / 10_000
+    assert 0.36 < rate < 0.44
+
+
+def test_dominant_profile_matches_figure7():
+    # Figure 7(b) marginals: ~68% of users active exactly 1 subframe,
+    # ~48% occupying exactly 4 PRBs.
+    gen = ControlTrafficGenerator(arrivals_per_subframe=1.0, seed=3)
+    profiles = {}
+    for _ in range(5_000):
+        for burst in gen.tick():
+            if burst.rnti not in profiles:
+                profiles[burst.rnti] = (burst.prbs,
+                                        burst.remaining_subframes + 1)
+    values = list(profiles.values())
+    frac_1sf = np.mean([sf == 1 for _, sf in values])
+    frac_4prb = np.mean([prbs == 4 for prbs, _ in values])
+    assert 0.64 < frac_1sf < 0.80
+    assert 0.42 < frac_4prb < 0.62
+
+
+def test_multi_subframe_bursts_persist():
+    gen = ControlTrafficGenerator(arrivals_per_subframe=1.0, seed=4)
+    appearances = {}
+    for _ in range(5_000):
+        for burst in gen.tick():
+            appearances[burst.rnti] = appearances.get(burst.rnti, 0) + 1
+    assert max(appearances.values()) > 1  # some users last > 1 subframe
+
+
+def test_negative_rate_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        ControlTrafficGenerator(arrivals_per_subframe=-0.1)

@@ -1,0 +1,55 @@
+"""Tests for DCI messages and subframe records."""
+
+import pytest
+
+from repro.phy.dci import DciMessage, SubframeRecord
+
+
+def _msg(rnti, prbs, subframe=0, cell=0, **kw):
+    return DciMessage(subframe, cell, rnti, prbs, mcs=10,
+                      spatial_streams=1, tbs_bits=prbs * 500, **kw)
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        _msg(1, -1)
+    with pytest.raises(ValueError):
+        DciMessage(0, 0, 1, 4, 10, 1, tbs_bits=-5)
+
+
+def test_idle_prbs_accounting():
+    rec = SubframeRecord(0, 0, total_prbs=100)
+    rec.messages.append(_msg(1, 30))
+    rec.messages.append(_msg(2, 50))
+    assert rec.allocated_prbs == 80
+    assert rec.idle_prbs == 20
+
+
+def test_over_allocation_raises():
+    rec = SubframeRecord(0, 0, total_prbs=10)
+    rec.messages.append(_msg(1, 20))
+    with pytest.raises(ValueError, match="over-allocated"):
+        rec.idle_prbs
+
+
+def test_prbs_for_sums_per_user():
+    rec = SubframeRecord(0, 0, total_prbs=100)
+    rec.messages.append(_msg(1, 10))
+    rec.messages.append(_msg(1, 5, new_data=False))  # its retransmission
+    rec.messages.append(_msg(2, 7))
+    assert rec.prbs_for(1) == 15
+    assert rec.prbs_for(2) == 7
+    assert rec.prbs_for(99) == 0
+
+
+def test_active_rntis():
+    rec = SubframeRecord(0, 0, total_prbs=100)
+    rec.messages.append(_msg(1, 10))
+    rec.messages.append(_msg(2, 0))
+    assert rec.active_rntis() == {1}
+
+
+def test_messages_are_immutable():
+    msg = _msg(1, 10)
+    with pytest.raises(AttributeError):
+        msg.n_prbs = 99

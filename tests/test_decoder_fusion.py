@@ -1,0 +1,91 @@
+"""Tests for the emulated control-channel decoder and message fusion."""
+
+import pytest
+
+from repro.monitor.decoder import ControlChannelDecoder, MessageFusion
+from repro.phy.dci import DciMessage, SubframeRecord
+
+
+def _record(subframe, cell=0, n_msgs=2):
+    rec = SubframeRecord(subframe, cell, 100)
+    for i in range(n_msgs):
+        rec.messages.append(DciMessage(subframe, cell, 10 + i, 4, 10, 1,
+                                       tbs_bits=2_000))
+    return rec
+
+
+def test_decoder_forwards_immediately_by_default():
+    got = []
+    dec = ControlChannelDecoder(0, got.append)
+    dec.on_subframe(_record(0))
+    assert len(got) == 1
+    assert dec.subframes_decoded == 1
+    assert dec.messages_decoded == 2
+
+
+def test_decoder_latency_delays_by_n_subframes():
+    got = []
+    dec = ControlChannelDecoder(0, got.append, decode_latency_subframes=2)
+    for sf in range(5):
+        dec.on_subframe(_record(sf))
+    assert [r.subframe for r in got] == [0, 1, 2]
+
+
+def test_decoder_rejects_wrong_cell():
+    dec = ControlChannelDecoder(0, lambda r: None)
+    with pytest.raises(ValueError):
+        dec.on_subframe(_record(0, cell=3))
+
+
+def test_decoder_search_cost_model():
+    dec = ControlChannelDecoder(0, lambda r: None)
+    dec.on_subframe(_record(0, n_msgs=3))
+    # 3 occupied positions x 10 formats + 13 empty looks.
+    assert dec.search_attempts == 3 * 10 + 13
+    assert dec.mean_messages_per_subframe == 3.0
+
+
+def test_fusion_waits_for_all_cells():
+    got = []
+    fusion = MessageFusion([0, 1], got.append)
+    fusion.on_record(_record(5, cell=0))
+    assert got == []
+    fusion.on_record(_record(5, cell=1))
+    assert len(got) == 1
+    assert set(got[0]) == {0, 1}
+    assert fusion.emitted == 1
+
+
+def test_fusion_single_cell_passthrough():
+    got = []
+    fusion = MessageFusion([0], got.append)
+    fusion.on_record(_record(0))
+    fusion.on_record(_record(1))
+    assert len(got) == 2
+
+
+def test_fusion_flushes_stale_incomplete_subframes():
+    got = []
+    fusion = MessageFusion([0, 1], got.append)
+    fusion.on_record(_record(0, cell=0))   # cell 1 never reports sf 0
+    fusion.on_record(_record(1, cell=0))
+    fusion.on_record(_record(2, cell=0))   # sf 0 is now stale -> flushed
+    subframes = [list(d.values())[0].subframe for d in got]
+    assert 0 in subframes
+
+
+def test_fusion_rejects_unsubscribed_cell():
+    fusion = MessageFusion([0], lambda d: None)
+    with pytest.raises(ValueError):
+        fusion.on_record(_record(0, cell=7))
+
+
+def test_fusion_requires_cells():
+    with pytest.raises(ValueError):
+        MessageFusion([], lambda d: None)
+
+
+def test_decoder_latency_validation():
+    with pytest.raises(ValueError):
+        ControlChannelDecoder(0, lambda r: None,
+                              decode_latency_subframes=-1)

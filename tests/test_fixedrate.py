@@ -1,0 +1,33 @@
+"""Unit tests for the fixed-offered-load sender."""
+
+import pytest
+
+from repro.baselines.fixedrate import FixedRate
+
+
+def test_constant_rate():
+    cc = FixedRate(rate_bps=40e6)
+    assert cc.pacing_rate_bps(0) == 40e6
+    assert cc.pacing_rate_bps(10**9) == 40e6
+    assert cc.cwnd_bits(0) is None  # open loop
+
+
+def test_schedule_switches_rate():
+    cc = FixedRate(rate_bps=40e6, schedule=[(0.0, 40e6), (2.0, 6e6)])
+    assert cc.pacing_rate_bps(0) == 40e6
+    assert cc.pacing_rate_bps(1_999_999) == 40e6
+    assert cc.pacing_rate_bps(2_000_000) == 6e6
+    assert cc.pacing_rate_bps(10**8) == 6e6
+
+
+def test_schedule_before_first_entry_uses_base_rate():
+    cc = FixedRate(rate_bps=1e6, schedule=[(1.0, 5e6)])
+    assert cc.pacing_rate_bps(0) == 1e6
+    assert cc.pacing_rate_bps(1_500_000) == 5e6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FixedRate(rate_bps=-1)
+    with pytest.raises(ValueError):
+        FixedRate(schedule=[(1.0, 1e6), (1.0, 2e6)])

@@ -1,0 +1,47 @@
+"""Tests for packet and ACK construction."""
+
+from repro.net.packet import ACK_BITS, Packet
+from repro.net.units import MSS_BITS
+
+
+def test_data_packet_defaults():
+    p = Packet(flow_id=1, seq=7)
+    assert p.size_bits == MSS_BITS
+    assert not p.is_ack
+    assert p.acked_seq == -1
+    assert p.recv_time_us == -1
+    assert p.meta == {}
+
+
+def test_make_ack_echoes_identity_and_timestamps():
+    p = Packet(flow_id=3, seq=42, sent_time_us=123_456)
+    p.delivered_at_send = 999
+    p.delivered_time_at_send = 111
+    p.app_limited = True
+    ack = p.make_ack(now_us=200_000, feedback={"x": 1})
+    assert ack.is_ack
+    assert ack.flow_id == 3
+    assert ack.acked_seq == 42
+    assert ack.sent_time_us == 123_456  # echoed for RTT computation
+    assert ack.recv_time_us == 200_000
+    assert ack.feedback == {"x": 1}
+    assert ack.delivered_at_send == 999
+    assert ack.delivered_time_at_send == 111
+    assert ack.app_limited
+    assert ack.size_bits == ACK_BITS
+
+
+def test_ack_is_small():
+    assert ACK_BITS < MSS_BITS / 10
+
+
+def test_meta_is_per_packet():
+    a = Packet(1, 0)
+    b = Packet(1, 1)
+    a.meta["k"] = 1
+    assert "k" not in b.meta
+
+
+def test_repr_mentions_kind():
+    assert "DATA" in repr(Packet(1, 0))
+    assert "ACK" in repr(Packet(1, 0).make_ack(0))

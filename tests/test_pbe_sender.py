@@ -1,0 +1,143 @@
+"""Unit tests for the PBE-CC sender state machine."""
+
+import pytest
+
+from repro.baselines.base import AckContext
+from repro.core.feedback import PbeFeedback
+from repro.core.sender import (
+    DRAIN,
+    INTERNET,
+    RAMP_RTTS,
+    STARTUP,
+    WIRELESS,
+    WIRELESS_PACING_GAIN,
+    PbeSender,
+)
+from repro.net.packet import Packet
+from repro.net.units import US_PER_S
+
+
+def _ack(now_us, feedback, rtt_us=40_000, rate_bps=50e6):
+    ack = Packet(1, 0, is_ack=True)
+    ack.feedback = feedback
+    return AckContext(ack=ack, now_us=now_us, rtt_us=rtt_us,
+                      delivery_rate_bps=rate_bps, newly_acked_bits=12_000,
+                      inflight_bits=120_000, app_limited=False)
+
+
+def _fb(target=50e6, fair=50e6, internet=False, activated=False):
+    return PbeFeedback.from_rates(target, fair, internet, activated)
+
+
+def _warm(cc, target=50e6, fair=50e6, count=200, start=0, gap=1_000,
+          **fbkw):
+    t = start
+    for _ in range(count):
+        cc.on_ack(_ack(t, _fb(target, fair, **fbkw)))
+        t += gap
+    return t
+
+
+def test_starts_in_startup_at_initial_rate():
+    cc = PbeSender()
+    assert cc.state == STARTUP
+    assert cc.pacing_rate_bps(0) == cc.initial_rate_bps
+
+
+def test_linear_ramp_to_fair_share_over_three_rtts():
+    cc = PbeSender()
+    cc.on_ack(_ack(0, _fb(fair=60e6)))
+    cc.pacing_rate_bps(0)  # arms the ramp
+    ramp_us = RAMP_RTTS * 40_000
+    half = cc.pacing_rate_bps(ramp_us // 2)
+    assert half == pytest.approx(30e6, rel=0.15)
+    full = cc.pacing_rate_bps(ramp_us)
+    assert full == pytest.approx(60e6, rel=0.05)
+
+
+def test_enters_wireless_after_ramp():
+    cc = PbeSender()
+    _warm(cc, count=200)
+    assert cc.state == WIRELESS
+
+
+def test_wireless_paces_above_target_with_bdp_cwnd():
+    cc = PbeSender()
+    t = _warm(cc, target=50e6)
+    assert cc.pacing_rate_bps(t) == pytest.approx(
+        WIRELESS_PACING_GAIN * 50e6)
+    cwnd = cc.cwnd_bits(t)
+    bdp = 50e6 * cc.rtprop_us / US_PER_S
+    assert bdp < cwnd < bdp + 50e6 * 0.020 + 5 * cc.mss_bits
+
+
+def test_tracks_changing_target_rate():
+    cc = PbeSender()
+    t = _warm(cc, target=50e6)
+    cc.on_ack(_ack(t, _fb(target=20e6)))
+    assert cc.target_rate_bps == pytest.approx(20e6, rel=0.01)
+    assert cc.pacing_rate_bps(t) == pytest.approx(
+        WIRELESS_PACING_GAIN * 20e6, rel=0.01)
+
+
+def test_carrier_activation_restarts_ramp():
+    cc = PbeSender()
+    t = _warm(cc, target=50e6, fair=50e6)
+    cc.on_ack(_ack(t, _fb(target=50e6, fair=90e6, activated=True)))
+    assert cc.state == STARTUP
+    # Ramp starts from the old operating rate, not from zero.
+    assert cc.pacing_rate_bps(t) == pytest.approx(50e6, rel=0.1)
+    t2 = _warm(cc, target=90e6, fair=90e6, start=t + 1_000)
+    assert cc.state == WIRELESS
+    assert cc.pacing_rate_bps(t2) == pytest.approx(
+        WIRELESS_PACING_GAIN * 90e6, rel=0.05)
+
+
+def test_internet_bottleneck_drains_then_probes():
+    cc = PbeSender()
+    t = _warm(cc)
+    cc.on_ack(_ack(t, _fb(internet=True)))
+    assert cc.state == DRAIN
+    # Drain pacing is half the bottleneck estimate.
+    assert cc.pacing_rate_bps(t) == pytest.approx(
+        0.5 * cc.bbr.btlbw_bps, rel=0.05)
+    # After one RTprop of internet-flagged ACKs, switch to BBR mode.
+    t = _warm(cc, count=80, start=t + 1_000, internet=True)
+    assert cc.state == INTERNET
+    assert cc.bbr.state == "probe_bw"
+
+
+def test_returns_to_wireless_when_flag_clears():
+    cc = PbeSender()
+    t = _warm(cc)
+    t = _warm(cc, count=100, start=t, internet=True)
+    assert cc.state == INTERNET
+    cc.on_ack(_ack(t, _fb(internet=False)))
+    assert cc.state == WIRELESS
+
+
+def test_probe_cap_follows_fair_share():
+    cc = PbeSender()
+    t = _warm(cc, fair=30e6)
+    assert cc._fair_share_cap() == pytest.approx(30e6, rel=0.01)
+
+
+def test_on_send_stamps_srtt_and_phase():
+    cc = PbeSender()
+    _warm(cc)
+    packet = Packet(1, 0)
+    cc.on_send(packet)
+    assert packet.meta["srtt_us"] > 0
+    assert packet.meta["phase"] == WIRELESS
+
+
+def test_timeout_restarts():
+    cc = PbeSender()
+    _warm(cc)
+    cc.on_timeout(10**6)
+    assert cc.state == STARTUP
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PbeSender(initial_rate_bps=0)

@@ -1,0 +1,87 @@
+"""Tests for base-station downlink queues and transport-block packing."""
+
+import pytest
+
+from repro.cell.queues import PROTOCOL_OVERHEAD, DownlinkQueue, TransportBlock
+from repro.net.packet import Packet
+
+
+def _tb(seq=0, bits=0):
+    return TransportBlock(seq=seq, rnti=1, cell_id=0, subframe=0,
+                          bits=bits, n_prbs=0, mcs=10, spatial_streams=1)
+
+
+def _packet(seq, bits=12_000):
+    return Packet(flow_id=1, seq=seq, size_bits=bits)
+
+
+def test_protocol_overhead_is_papers_gamma():
+    assert PROTOCOL_OVERHEAD == pytest.approx(0.068)
+
+
+def test_push_and_backlog():
+    q = DownlinkQueue()
+    assert q.push(_packet(0))
+    assert q.push(_packet(1))
+    assert len(q) == 2
+    assert q.backlog_bits == 24_000
+    assert not q.empty
+
+
+def test_droptail():
+    q = DownlinkQueue(capacity_packets=2)
+    assert q.push(_packet(0))
+    assert q.push(_packet(1))
+    assert not q.push(_packet(2))
+    assert q.dropped == 1
+    assert len(q) == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DownlinkQueue(capacity_packets=0)
+
+
+def test_pull_whole_packets():
+    q = DownlinkQueue()
+    q.push(_packet(0))
+    q.push(_packet(1))
+    tb = _tb()
+    taken = q.pull(24_000, tb)
+    assert taken == 24_000
+    assert [p.seq for p in tb.completes] == [0, 1]
+    assert q.empty
+    assert q.backlog_bits == 0
+
+
+def test_pull_splits_packet_across_blocks():
+    q = DownlinkQueue()
+    q.push(_packet(0, bits=12_000))
+    tb1, tb2 = _tb(0), _tb(1)
+    assert q.pull(5_000, tb1) == 5_000
+    assert tb1.completes == []          # packet not finished yet
+    assert len(tb1.touches) == 1
+    assert q.backlog_bits == 7_000
+    assert q.pull(50_000, tb2) == 7_000  # only the remainder available
+    assert [p.seq for p in tb2.completes] == [0]
+
+
+def test_pull_from_empty_queue():
+    q = DownlinkQueue()
+    assert q.pull(10_000, _tb()) == 0
+
+
+def test_pull_rejects_negative():
+    q = DownlinkQueue()
+    with pytest.raises(ValueError):
+        q.pull(-1, _tb())
+
+
+def test_touches_includes_partially_carried_packets():
+    q = DownlinkQueue()
+    q.push(_packet(0, bits=10_000))
+    q.push(_packet(1, bits=10_000))
+    tb = _tb()
+    q.pull(15_000, tb)  # all of packet 0, half of packet 1
+    assert [p.seq for p in tb.touches] == [0, 1]
+    assert [p.seq for p in tb.completes] == [0]

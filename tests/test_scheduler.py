@@ -1,0 +1,92 @@
+"""Tests for the equal-share water-filling PRB scheduler."""
+
+from hypothesis import given, strategies as st
+
+from repro.cell.scheduler import DemandEntry, allocate_prbs
+
+
+def _demand(rnti, bits, bpp=1_000):
+    return DemandEntry(rnti=rnti, demand_bits=bits, bits_per_prb=bpp)
+
+
+def test_demand_prbs_is_ceiling():
+    assert _demand(1, 1_500, bpp=1_000).demand_prbs == 2
+    assert _demand(1, 1_000, bpp=1_000).demand_prbs == 1
+    assert _demand(1, 0).demand_prbs == 0
+
+
+def test_single_backlogged_user_gets_everything():
+    grants = allocate_prbs(100, [_demand(1, 10**9)])
+    assert grants == {1: 100}
+
+
+def test_equal_split_between_backlogged_users():
+    grants = allocate_prbs(100, [_demand(1, 10**9), _demand(2, 10**9)])
+    assert grants == {1: 50, 2: 50}
+
+
+def test_rotating_remainder():
+    demands = [_demand(1, 10**9), _demand(2, 10**9), _demand(3, 10**9)]
+    a = allocate_prbs(100, demands, rotation=0)
+    b = allocate_prbs(100, demands, rotation=1)
+    assert sorted(a.values()) == [33, 33, 34]
+    # The odd PRB moves between users across subframes.
+    lucky_a = max(a, key=a.get)
+    lucky_b = max(b, key=b.get)
+    assert lucky_a != lucky_b
+
+
+def test_waterfilling_redistributes_unneeded_share():
+    # User 1 only needs 10 PRBs; user 2 should receive the rest.
+    grants = allocate_prbs(100, [_demand(1, 10_000), _demand(2, 10**9)])
+    assert grants == {1: 10, 2: 90}
+
+
+def test_idle_prbs_when_total_demand_small():
+    grants = allocate_prbs(100, [_demand(1, 5_000), _demand(2, 7_000)])
+    assert grants == {1: 5, 2: 7}
+    assert sum(grants.values()) < 100  # the rest stays idle
+
+
+def test_zero_demand_users_excluded():
+    grants = allocate_prbs(100, [_demand(1, 0), _demand(2, 10**9)])
+    assert grants == {2: 100}
+
+
+def test_no_available_prbs():
+    assert allocate_prbs(0, [_demand(1, 10**9)]) == {}
+
+
+def test_more_users_than_prbs():
+    demands = [_demand(i, 10**9) for i in range(10)]
+    grants = allocate_prbs(4, demands, rotation=0)
+    assert sum(grants.values()) == 4
+    assert all(v == 1 for v in grants.values())
+
+
+@given(
+    st.integers(min_value=0, max_value=100),
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10**7),
+                  st.integers(min_value=100, max_value=2_000)),
+        min_size=0, max_size=8),
+    st.integers(min_value=0, max_value=32),
+)
+def test_never_overallocates_and_respects_demand(available, rows, rotation):
+    demands = [DemandEntry(i, bits, bpp)
+               for i, (bits, bpp) in enumerate(rows)]
+    grants = allocate_prbs(available, demands, rotation)
+    assert sum(grants.values()) <= available
+    for d in demands:
+        granted = grants.get(d.rnti, 0)
+        assert granted <= d.demand_prbs
+        assert granted >= 0
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=10, max_value=100))
+def test_backlogged_users_within_one_prb(n_users, available):
+    demands = [_demand(i, 10**9) for i in range(n_users)]
+    grants = allocate_prbs(available, demands, rotation=3)
+    values = [grants.get(i, 0) for i in range(n_users)]
+    assert max(values) - min(values) <= 1

@@ -1,0 +1,58 @@
+"""Tests for JSON result serialization."""
+
+import json
+
+import pytest
+
+from repro.harness import Experiment, FlowSpec, Scenario
+from repro.harness.serialize import (
+    load_results,
+    result_to_dict,
+    save_results,
+    summary_to_dict,
+)
+from repro.phy.carrier import CarrierConfig
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = Scenario(name="ser", carriers=[CarrierConfig(0, 10.0)],
+                        aggregated_cells=1, mean_sinr_db=14.0,
+                        duration_s=1.5, seed=6)
+    exp = Experiment(scenario)
+    exp.add_flow(FlowSpec(scheme="pbe"))
+    exp.add_flow(FlowSpec(scheme="bbr", rnti=101))
+    return exp.run()
+
+
+def test_summary_roundtrips_through_json(results):
+    d = summary_to_dict(results[0].summary)
+    again = json.loads(json.dumps(d))
+    assert again["scheme"] == "pbe"
+    assert again["packets"] > 0
+    assert set(again["delay_percentiles_ms"]) == {"10", "25", "50",
+                                                  "75", "90"}
+
+
+def test_result_dict_fields(results):
+    d = result_to_dict(results[0])
+    assert d["scheme"] == "pbe"
+    assert d["state_fractions"] is not None
+    assert "samples" not in d
+
+
+def test_result_dict_with_samples(results):
+    d = result_to_dict(results[1], include_samples=True)
+    samples = d["samples"]
+    assert (len(samples["arrival_us"]) == len(samples["delay_us"])
+            == d["summary"]["packets"])
+
+
+def test_save_and_load(results, tmp_path):
+    path = tmp_path / "run.json"
+    save_results(results, path)
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    assert {r["scheme"] for r in loaded} == {"pbe", "bbr"}
+    assert loaded[0]["summary"]["average_throughput_bps"] == \
+        results[0].summary.average_throughput_bps

@@ -1,0 +1,79 @@
+"""Tests for mobility trajectories and diurnal cell-activity traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces.cellactivity import (
+    DIURNAL_SHAPE,
+    DiurnalCellActivity,
+    paper_cells,
+)
+from repro.traces.mobility import paper_trajectory, random_walk_trajectory
+
+
+class TestMobility:
+    def test_paper_trajectory_script(self):
+        # §6.3.2: hold at -85, move to -105 by t=26 s, back by 30 s.
+        ch = paper_trajectory(fading_std_db=0.0)
+        assert ch.rssi_dbm(0) == -85.0
+        assert ch.rssi_dbm(13_000_000) == -85.0
+        assert ch.rssi_dbm(26_000_000) == -105.0
+        assert ch.rssi_dbm(30_000_000) == -85.0
+        assert ch.rssi_dbm(40_000_000) == -85.0
+        # Midway out: interpolating downward.
+        assert -105.0 < ch.rssi_dbm(20_000_000) < -85.0
+
+    def test_sinr_degrades_with_rssi(self):
+        ch = paper_trajectory(fading_std_db=0.0)
+        assert ch.sinr_db(26_000_000) < ch.sinr_db(0)
+
+    def test_random_walk_stays_in_bounds(self):
+        ch = random_walk_trajectory(duration_s=60.0, seed=3,
+                                    bounds_dbm=(-110.0, -85.0),
+                                    fading_std_db=0.0)
+        rssis = [ch.rssi_dbm(t) for t in range(0, 60_000_000, 500_000)]
+        assert all(-110.0 <= r <= -85.0 for r in rssis)
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_trajectory(duration_s=0)
+
+
+class TestCellActivity:
+    def test_diurnal_shape_peaks_in_afternoon(self):
+        assert DIURNAL_SHAPE.argmax() == 14
+        assert DIURNAL_SHAPE.min() > 0
+
+    def test_hourly_counts_follow_shape(self):
+        cell = DiurnalCellActivity(peak_users_per_hour=190, seed=1)
+        counts = cell.hourly_user_counts()
+        assert len(counts) == 24
+        # Afternoon busier than pre-dawn (paper Figure 11a).
+        assert np.mean(counts[12:20]) > 4 * np.mean(counts[1:5])
+
+    def test_off_hours_zero(self):
+        cell = DiurnalCellActivity(off_hours=(0, 1, 2), seed=1)
+        counts = cell.hourly_user_counts()
+        assert counts[0] == counts[1] == counts[2] == 0
+        assert counts[12] > 0
+
+    def test_rate_distribution_mostly_low_rate(self):
+        # Figure 11(b): >70% of users below half the 1.8 Mbit/s/PRB max.
+        cell = DiurnalCellActivity(seed=2)
+        rates = cell.user_rates_mbps_per_prb(4_000)
+        assert rates.max() <= 1.8 * 1.05
+        frac_low = np.mean(rates < 0.9)
+        assert 0.6 < frac_low < 0.9
+
+    def test_paper_cells_config(self):
+        cells = paper_cells()
+        assert set(cells) == {"20MHz", "10MHz"}
+        assert cells["10MHz"].off_hours == {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCellActivity(peak_users_per_hour=0)
+        with pytest.raises(ValueError):
+            DiurnalCellActivity(off_hours=(25,))
+        with pytest.raises(ValueError):
+            DiurnalCellActivity().user_sinrs_db(-1)

@@ -1,0 +1,89 @@
+"""Unit tests for TCP Vegas."""
+
+import pytest
+
+from repro.baselines.base import AckContext
+from repro.baselines.vegas import ALPHA, BETA, Vegas
+from repro.net.packet import Packet
+
+
+def _ack(now_us, rtt_us=40_000):
+    return AckContext(ack=Packet(1, 0, is_ack=True), now_us=now_us,
+                      rtt_us=rtt_us, delivery_rate_bps=10e6,
+                      newly_acked_bits=12_000, inflight_bits=120_000,
+                      app_limited=False)
+
+
+def test_slow_start_doubles_until_queueing():
+    cc = Vegas()
+    start = cc.cwnd
+    t = 0
+    for _ in range(4):  # four rounds at constant RTT: no queueing
+        t += 45_000
+        cc.on_ack(_ack(t))
+    assert cc.cwnd >= start * 4
+    assert cc._in_slow_start
+
+
+def test_slow_start_ends_when_diff_exceeds_alpha():
+    cc = Vegas()
+    t = 0
+    for _ in range(3):
+        t += 45_000
+        cc.on_ack(_ack(t, rtt_us=40_000))
+    grown = cc.cwnd
+    # RTT inflates: diff = cwnd*(1 - base/rtt) packets > alpha.
+    for _ in range(3):
+        t += 65_000
+        cc.on_ack(_ack(t, rtt_us=60_000))
+    assert not cc._in_slow_start
+    assert cc.cwnd <= grown
+
+
+def test_congestion_avoidance_additive():
+    cc = Vegas()
+    cc._in_slow_start = False
+    cc._srtt_us = 40_000  # pre-warm so each round gates at one RTT
+    cc.cwnd = 20.0
+    t = 0
+    for _ in range(5):  # constant RTT -> diff 0 < alpha -> +1 per RTT
+        t += 45_000
+        cc.on_ack(_ack(t))
+    assert cc.cwnd == 25.0
+
+
+def test_backs_off_above_beta():
+    cc = Vegas()
+    cc._in_slow_start = False
+    cc.cwnd = 40.0
+    t = 0
+    cc.on_ack(_ack(t + 45_000, rtt_us=40_000))  # establish base RTT
+    t += 45_000
+    for _ in range(5):
+        t += 65_000
+        # queueing delay of 20 ms at cwnd 40: diff = 40*20/60 = 13 > β.
+        cc.on_ack(_ack(t, rtt_us=60_000))
+    assert cc.cwnd < 40.0
+
+
+def test_loss_reduces_window():
+    cc = Vegas()
+    cc.cwnd = 40.0
+    cc.on_loss(0, 12_000, 0)
+    assert cc.cwnd == 30.0
+
+
+def test_timeout_resets():
+    cc = Vegas()
+    cc.cwnd = 40.0
+    cc.on_timeout(0)
+    assert cc.cwnd == 2.0
+
+
+def test_registered_in_harness():
+    from repro.harness import make_cc
+    assert isinstance(make_cc("vegas"), Vegas)
+
+
+def test_thresholds_sane():
+    assert 0 < ALPHA < BETA
