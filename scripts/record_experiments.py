@@ -6,11 +6,20 @@ file for EXPERIMENTS.md).  Scale knobs sit between the benchmark
 defaults and the paper's full setup so one pass finishes in well under
 an hour on a laptop.
 
-Run:  python scripts/record_experiments.py | tee experiments_raw.txt
+The multi-run drivers (the stationary sweep, Figures 13-14, the
+ablations) go through :mod:`repro.exec`: ``--jobs N`` fans their
+simulations out over worker processes, and ``--cache-dir DIR`` memoizes
+completed runs so an interrupted or repeated recording pass only
+executes what changed.
+
+Run:  python scripts/record_experiments.py --jobs 8 | tee experiments_raw.txt
 """
 
+import argparse
+import os
 import time
 
+from repro.exec import StderrReporter
 from repro.harness import experiments as exp
 
 
@@ -18,13 +27,29 @@ def section(name):
     print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}", flush=True)
 
 
-def main() -> None:
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="record all table/figure experiment outputs")
+    parser.add_argument("--jobs", type=int,
+                        default=min(os.cpu_count() or 1, 8),
+                        help="worker processes for multi-run drivers "
+                             "(default: one per CPU, capped at 8)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory "
+                             "(resume/replay recording passes cheaply)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    execution = {"jobs": args.jobs, "cache_dir": args.cache_dir,
+                 "progress": StderrReporter()}
     t0 = time.time()
 
     section("Stationary sweep (Table 1 / Figure 12 / Figure 15)")
     sweep = exp.run_stationary_sweep(
         schemes=("pbe", "bbr", "cubic", "verus", "copa"),
-        n_busy=8, n_idle=5, duration_s=10.0)
+        n_busy=8, n_idle=5, duration_s=10.0, **execution)
     print(exp.table1_from_sweep(sweep).format())
     print()
     print(exp.fig12_from_sweep(sweep).format())
@@ -47,7 +72,7 @@ def main() -> None:
     print(exp.run_fig11().format())
 
     section("Figures 13-14: six-location drill-down")
-    print(exp.run_fig13_14(duration_s=8.0).format())
+    print(exp.run_fig13_14(duration_s=8.0, **execution).format())
 
     section("Figures 16-17: mobility")
     print(exp.run_fig16_17(duration_s=24.0, interval_s=1.2).format())
@@ -62,7 +87,7 @@ def main() -> None:
     print(exp.run_fig21(time_scale=0.34).format())
 
     section("Ablations")
-    print(exp.run_ablation(duration_s=8.0).format())
+    print(exp.run_ablation(duration_s=8.0, **execution).format())
 
     print(f"\ntotal wall time: {time.time() - t0:.0f} s", flush=True)
 

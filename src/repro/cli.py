@@ -6,14 +6,21 @@ Commands
                carriers, busy/idle, duration)
 ``compare``    several schemes head-to-head on the same cell
 ``experiment`` run one of the paper's table/figure drivers by name
+``sweep``      the §6.3.1 stationary sweep, parallel and cacheable
 ``list``       list schemes and experiments
+
+Multi-run commands (``experiment`` sweeps, ``sweep``) accept ``--jobs
+N`` to fan simulations out over worker processes and ``--cache-dir``
+to memoize completed runs on disk (see :mod:`repro.exec`).
 
 Examples
 --------
     python -m repro run --scheme pbe --sinr 18 --busy --duration 6
     python -m repro compare --schemes pbe,bbr,cubic --duration 5
     python -m repro experiment fig02
-    python -m repro experiment table1 --locations 4
+    python -m repro experiment table1 --locations 4 --jobs 4
+    python -m repro sweep --schemes pbe,bbr --busy 8 --idle 5 \\
+        --jobs 8 --cache-dir .repro-cache --view table1
 """
 
 from __future__ import annotations
@@ -78,6 +85,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exec_kwargs(args: argparse.Namespace) -> dict:
+    """Runner configuration shared by the multi-run commands."""
+    from .exec import StderrReporter
+    progress = StderrReporter() if (args.jobs > 1 or args.cache_dir) \
+        else None
+    return {"jobs": args.jobs, "cache_dir": args.cache_dir,
+            "progress": progress}
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment <name>``: run a paper table/figure driver."""
     from .harness import experiments as exp
@@ -86,19 +102,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         sweep = exp.run_stationary_sweep(
             schemes=("pbe", "bbr", "verus", "copa"),
             n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
-            duration_s=args.duration)
+            duration_s=args.duration, **_exec_kwargs(args))
         print(exp.table1_from_sweep(sweep).format())
     elif name == "fig12":
         sweep = exp.run_stationary_sweep(
             schemes=("pbe", "bbr", "cubic", "verus"),
             n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
-            duration_s=args.duration)
+            duration_s=args.duration, **_exec_kwargs(args))
         print(exp.fig12_from_sweep(sweep).format())
     elif name == "fig15":
         sweep = exp.run_stationary_sweep(
             schemes=("pbe", "bbr", "cubic", "copa", "sprout"),
             n_busy=args.locations, n_idle=max(1, args.locations * 3 // 5),
-            duration_s=args.duration)
+            duration_s=args.duration, **_exec_kwargs(args))
         print(exp.fig15_from_sweep(sweep).format())
     elif name == "fig02":
         print(exp.run_fig02().format())
@@ -113,7 +129,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "fig11":
         print(exp.run_fig11().format())
     elif name == "fig13":
-        print(exp.run_fig13_14(duration_s=args.duration).format())
+        print(exp.run_fig13_14(duration_s=args.duration,
+                               **_exec_kwargs(args)).format())
     elif name == "fig16":
         print(exp.run_fig16_17(duration_s=2 * args.duration).format())
     elif name == "fig18":
@@ -123,9 +140,54 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "fig21":
         print(exp.run_fig21(time_scale=args.duration / 60.0).format())
     elif name == "ablation":
-        print(exp.run_ablation(duration_s=args.duration).format())
+        print(exp.run_ablation(duration_s=args.duration,
+                               **_exec_kwargs(args)).format())
     else:  # pragma: no cover - argparse choices guard this
         raise ValueError(name)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: the stationary sweep, parallel and cacheable."""
+    from .harness import experiments as exp
+    from .harness.serialize import write_json_atomic
+    schemes = tuple(s.strip() for s in args.schemes.split(",")
+                    if s.strip())
+    sweep = exp.run_stationary_sweep(
+        schemes=schemes, n_busy=args.busy, n_idle=args.idle,
+        duration_s=args.duration, base_seed=args.seed,
+        **_exec_kwargs(args))
+    if args.view == "table1":
+        print(exp.table1_from_sweep(sweep).format())
+    elif args.view == "fig12":
+        print(exp.fig12_from_sweep(sweep).format())
+    elif args.view == "fig15":
+        print(exp.fig15_from_sweep(sweep).format())
+    else:
+        rows = []
+        for scheme in sweep.schemes():
+            for condition in ("busy", "idle"):
+                entries = [e for e in sweep.for_scheme(scheme)
+                           if e.busy == (condition == "busy")]
+                if not entries:
+                    continue
+                n = len(entries)
+                rows.append([
+                    scheme, condition, n,
+                    sum(e.summary.average_throughput_mbps
+                        for e in entries) / n,
+                    sum(e.summary.average_delay_ms for e in entries) / n,
+                    sum(e.summary.p95_delay_ms for e in entries) / n])
+        print(format_table(
+            ["scheme", "cond", "locs", "tput (Mbit/s)",
+             "avg delay (ms)", "p95 delay (ms)"], rows,
+            title=f"Stationary sweep ({args.busy} busy + {args.idle} "
+                  f"idle locations, {args.duration:g} s flows)"))
+    if args.save:
+        write_json_atomic([exp.entry_to_dict(e) for e in sweep.entries],
+                          args.save)
+        print(f"saved {len(sweep.entries)} entries to {args.save}",
+              file=sys.stderr)
     return 0
 
 
@@ -134,6 +196,15 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("schemes:     " + ", ".join(sorted(SCHEMES)))
     print("experiments: " + ", ".join(EXPERIMENTS))
     return 0
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(default 1 = inline)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory "
+                             "(skips runs whose inputs are unchanged)")
 
 
 def _add_cell_options(parser: argparse.ArgumentParser) -> None:
@@ -175,7 +246,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--locations", type=int, default=4,
                        help="busy locations for sweep experiments")
     p_exp.add_argument("--duration", type=float, default=6.0)
+    _add_exec_options(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run the stationary location sweep "
+                      "(parallel, cacheable)")
+    p_sweep.add_argument("--schemes", default="pbe,bbr",
+                         help="comma-separated scheme list")
+    p_sweep.add_argument("--busy", type=int, default=4,
+                         help="busy locations (paper: 25)")
+    p_sweep.add_argument("--idle", type=int, default=2,
+                         help="idle locations (paper: 15)")
+    p_sweep.add_argument("--duration", type=float, default=6.0,
+                         help="flow duration in seconds")
+    p_sweep.add_argument("--seed", type=int, default=100,
+                         help="base seed of the location grid")
+    p_sweep.add_argument("--view", default="summary",
+                         choices=("summary", "table1", "fig12", "fig15"),
+                         help="how to reduce the sweep for printing")
+    p_sweep.add_argument("--save", default=None, metavar="FILE",
+                         help="also write per-run JSON entries here")
+    _add_exec_options(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_list = sub.add_parser("list", help="list schemes and experiments")
     p_list.set_defaults(func=cmd_list)

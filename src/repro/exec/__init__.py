@@ -1,0 +1,36 @@
+"""Parallel experiment execution with content-addressed memoization.
+
+Every simulation in this repository is an independent, deterministic,
+seed-keyed run — embarrassingly parallel and perfectly cacheable.  This
+package is the backbone that exploits both properties:
+
+* :class:`Job` — one (scenario, scheme, overrides) simulation with a
+  deterministic content fingerprint;
+* :class:`ResultStore` — a disk cache of completed payloads keyed by
+  fingerprint, written atomically so sweeps survive interruption;
+* :class:`ParallelRunner` — fans jobs out over a process pool (with
+  inline fallback, per-job timeout guard and crash retries), memoizes
+  through the store, and reports progress/telemetry via a callback.
+
+The stationary sweep, the figure drivers, the benchmark suite and the
+``python -m repro sweep`` command all submit their runs through here.
+"""
+
+from .job import FINGERPRINT_VERSION, Job, canonical_json, scenario_to_dict
+from .runner import (
+    JobEvent,
+    JobExecutionError,
+    ParallelRunner,
+    RunnerStats,
+    StderrReporter,
+    make_runner,
+)
+from .store import ResultStore
+from .worker import execute_job, initialize_worker
+
+__all__ = [
+    "FINGERPRINT_VERSION", "Job", "JobEvent", "JobExecutionError",
+    "ParallelRunner", "ResultStore", "RunnerStats", "StderrReporter",
+    "canonical_json", "execute_job", "initialize_worker", "make_runner",
+    "scenario_to_dict",
+]

@@ -1,0 +1,322 @@
+"""Parallel, memoized execution of independent simulation jobs.
+
+Every job is an independent, deterministic, seed-keyed simulation —
+embarrassingly parallel — so the runner fans pending jobs out over a
+:class:`ProcessPoolExecutor` and fills the rest from the result store.
+The execution plan for one :meth:`ParallelRunner.run` call:
+
+1. fingerprint every job; duplicates collapse onto one execution;
+2. satisfy what the :class:`ResultStore` already holds (cache hits);
+3. execute the remainder — inline when ``jobs=1`` (or the platform has
+   no working process pool), otherwise across worker processes with a
+   per-job timeout guard and retry-on-worker-crash;
+4. persist each payload as it completes, so an interrupted sweep
+   resumes from where it stopped.
+
+Results come back in submission order, and ``runner.stats`` describes
+the last run (executed / cached / deduplicated counts, per-job wall
+times, cache hit rate).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .job import Job
+from .store import ResultStore
+from .worker import execute_job, initialize_worker
+
+#: Exceptions that mean "this worker process died", not "the job's own
+#: code raised" — only these (and timeouts) are retried.
+_CRASH_ERRORS = (BrokenProcessPool, OSError)
+
+
+class JobExecutionError(RuntimeError):
+    """A job exhausted its retries (worker crashes or timeouts)."""
+
+    def __init__(self, job: Job, cause: BaseException) -> None:
+        super().__init__(f"job {job.label} failed after retries: "
+                         f"{cause!r}")
+        self.job = job
+        self.cause = cause
+
+
+@dataclass
+class JobEvent:
+    """One progress notification passed to the runner's callback."""
+
+    #: "cached", "executed", "retry" or "fallback".
+    kind: str
+    done: int
+    total: int
+    cache_hits: int
+    job: Optional[Job] = None
+    wall_s: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class RunnerStats:
+    """Telemetry for one :meth:`ParallelRunner.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    retries: int = 0
+    job_wall_s: list = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def format(self) -> str:
+        return (f"{self.total} jobs: {self.executed} executed, "
+                f"{self.cache_hits} cached "
+                f"({100 * self.cache_hit_rate:.0f}% hit rate), "
+                f"{self.deduplicated} deduplicated, "
+                f"{self.retries} retries, {self.wall_s:.1f}s wall")
+
+
+class StderrReporter:
+    """Minimal progress callback: one stderr line per finished job."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: JobEvent) -> None:
+        if event.kind == "fallback":
+            print(f"[repro.exec] {event.detail}", file=self.stream,
+                  flush=True)
+            return
+        label = event.job.label if event.job is not None else "?"
+        wall = (f" {event.wall_s:.1f}s" if event.wall_s is not None
+                else "")
+        print(f"[repro.exec] {event.done}/{event.total} {event.kind} "
+              f"{label}{wall} ({event.cache_hits} cached)",
+              file=self.stream, flush=True)
+
+
+class ParallelRunner:
+    """Fans jobs out over worker processes, memoizing via a store.
+
+    ``jobs=1`` executes inline (no pool, no pickling) — the worker path
+    calls the identical :func:`execute_job`, so both modes return
+    byte-identical payloads.  ``timeout_s`` bounds how long the runner
+    waits on any single in-flight job; ``retries`` is how many times a
+    job is re-submitted after a worker crash or timeout before a
+    worker-crashed job falls back to one final inline attempt (a timed-
+    out job raises :class:`JobExecutionError` instead — re-running a
+    hang inline would just hang the parent).
+    """
+
+    def __init__(self, jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 retries: int = 1,
+                 timeout_s: Optional[float] = None,
+                 progress: Optional[Callable[[JobEvent], None]] = None
+                 ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        self.jobs = jobs
+        self.store = store
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.progress = progress
+        self.stats = RunnerStats()
+        self._done = 0
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> list:
+        """Execute (or recall) every job; payloads in submission order."""
+        jobs = list(jobs)
+        self.stats = RunnerStats(total=len(jobs))
+        self._done = 0
+        t0 = time.monotonic()
+
+        fingerprints = [job.fingerprint() for job in jobs]
+        results: list = [None] * len(jobs)
+        first_index: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        pending: list[tuple[int, Job]] = []
+        for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
+            if fp in first_index:
+                duplicates.append((i, first_index[fp]))
+                self.stats.deduplicated += 1
+                continue
+            first_index[fp] = i
+            cached = self.store.get(fp) if self.store else None
+            if cached is not None:
+                results[i] = cached
+                self.stats.cache_hits += 1
+                self._done += 1
+                self._emit("cached", job=job)
+            else:
+                pending.append((i, job))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_inline(pending, fingerprints, results)
+            else:
+                self._run_pool(pending, fingerprints, results)
+
+        for i, source in duplicates:
+            results[i] = results[source]
+            self._done += 1
+
+        self.stats.wall_s = time.monotonic() - t0
+        return results
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, job: Optional[Job] = None,
+              wall_s: Optional[float] = None, detail: str = "") -> None:
+        if self.progress is None:
+            return
+        self.progress(JobEvent(
+            kind=kind, done=self._done, total=self.stats.total,
+            cache_hits=self.stats.cache_hits, job=job, wall_s=wall_s,
+            detail=detail))
+
+    def _complete(self, index: int, job: Job, fingerprint: str,
+                  payload: dict, wall_s: float, results: list) -> None:
+        results[index] = payload
+        if self.store is not None:
+            self.store.put(fingerprint, payload)
+        self.stats.executed += 1
+        self.stats.job_wall_s.append(wall_s)
+        self._done += 1
+        self._emit("executed", job=job, wall_s=wall_s)
+
+    def _run_inline(self, pending: list, fingerprints: list,
+                    results: list) -> None:
+        for index, job in pending:
+            started = time.monotonic()
+            payload = execute_job(job)
+            self._complete(index, job, fingerprints[index], payload,
+                           time.monotonic() - started, results)
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending: list, fingerprints: list,
+                  results: list) -> None:
+        attempts: dict[int, int] = {}
+        queue = list(pending)
+        while queue:
+            executor = self._make_executor(len(queue))
+            if executor is None:
+                self._emit("fallback",
+                           detail="process pool unavailable; "
+                                  "running jobs inline")
+                self._run_inline(queue, fingerprints, results)
+                return
+            retry_queue: list[tuple[int, Job]] = []
+            hung_worker = False
+            try:
+                try:
+                    submitted = []
+                    for index, job in queue:
+                        submitted.append(
+                            (index, job,
+                             executor.submit(execute_job, job),
+                             time.monotonic()))
+                except _CRASH_ERRORS:
+                    # Could not even hand work to the pool — run this
+                    # whole round inline (idempotent: deterministic
+                    # jobs, and none of these futures is collected).
+                    self._emit("fallback",
+                               detail="submission to pool failed; "
+                                      "running jobs inline")
+                    self._run_inline(queue, fingerprints, results)
+                    return
+                for index, job, future, started in submitted:
+                    try:
+                        payload = future.result(timeout=self.timeout_s)
+                    except FutureTimeoutError:
+                        future.cancel()
+                        hung_worker = True
+                        self._handle_failure(
+                            index, job, attempts, retry_queue,
+                            TimeoutError(
+                                f"no result within {self.timeout_s}s"),
+                            crashed=False,
+                            fingerprints=fingerprints, results=results)
+                    except _CRASH_ERRORS as exc:
+                        self._handle_failure(
+                            index, job, attempts, retry_queue, exc,
+                            crashed=True,
+                            fingerprints=fingerprints, results=results)
+                    else:
+                        self._complete(index, job, fingerprints[index],
+                                       payload,
+                                       time.monotonic() - started,
+                                       results)
+            finally:
+                # Waiting reclaims worker processes cleanly; skip it
+                # only when a timed-out (possibly hung) worker would
+                # block the join forever.
+                executor.shutdown(wait=not hung_worker,
+                                  cancel_futures=True)
+            queue = retry_queue
+
+    def _handle_failure(self, index: int, job: Job, attempts: dict,
+                        retry_queue: list, cause: BaseException,
+                        crashed: bool, fingerprints: list,
+                        results: list) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] <= self.retries:
+            self.stats.retries += 1
+            self._emit("retry", job=job,
+                       detail=f"attempt {attempts[index]}: {cause!r}")
+            retry_queue.append((index, job))
+            return
+        if crashed:
+            # Last resort for crashed workers: one inline attempt —
+            # if the job's own code is at fault it raises here with a
+            # real traceback instead of a BrokenProcessPool.
+            self._emit("fallback",
+                       detail=f"{job.label}: worker crashed repeatedly;"
+                              " final inline attempt")
+            started = time.monotonic()
+            payload = execute_job(job)
+            self._complete(index, job, fingerprints[index], payload,
+                           time.monotonic() - started, results)
+            return
+        raise JobExecutionError(job, cause)
+
+    def _make_executor(self, n_pending: int
+                       ) -> Optional[ProcessPoolExecutor]:
+        workers = min(self.jobs, n_pending)
+        try:
+            return ProcessPoolExecutor(max_workers=workers,
+                                       initializer=initialize_worker)
+        except (ImportError, NotImplementedError, OSError,
+                PermissionError, ValueError):
+            # No usable multiprocessing primitives on this platform
+            # (e.g. sandboxed /dev/shm) — callers still get results.
+            return None
+
+
+def make_runner(jobs: int = 1, cache_dir=None,
+                runner: Optional[ParallelRunner] = None,
+                progress: Optional[Callable[[JobEvent], None]] = None
+                ) -> ParallelRunner:
+    """The experiment drivers' shared runner-construction shorthand.
+
+    Passing an explicit ``runner`` wins (and exposes its ``stats`` to
+    the caller); otherwise one is built from ``jobs`` and an optional
+    ``cache_dir`` (which enables the on-disk result store).
+    """
+    if runner is not None:
+        return runner
+    store = ResultStore(cache_dir) if cache_dir else None
+    return ParallelRunner(jobs=jobs, store=store, progress=progress)

@@ -1,0 +1,73 @@
+"""Disk-backed, content-addressed store of completed job results.
+
+Each entry is one job's JSON payload, filed under the job's input
+fingerprint (sharded by the first two hex digits to keep directories
+small at paper scale and beyond).  Writes go through
+:func:`repro.harness.serialize.write_json_atomic`, so an interrupted
+run can never leave a truncated entry — and whatever *did* complete is
+picked up as cache hits when the sweep is re-run, making long sweeps
+resumable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..harness.serialize import write_json_atomic
+
+
+class ResultStore:
+    """Memoizes job payloads by content fingerprint."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where ``fingerprint``'s payload lives (or would live)."""
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload, or ``None`` if absent or unreadable.
+
+        Corrupted entries (truncated JSON from a kill -9, disk-full
+        debris, hand-edited files) are deleted and treated as misses —
+        the job simply re-executes.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self.discard(fingerprint)
+            return None
+        if not isinstance(payload, dict):
+            self.discard(fingerprint)
+            return None
+        return payload
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        """Persist one completed job's payload (atomic)."""
+        write_json_atomic(payload, self.path_for(fingerprint),
+                          indent=None)
+
+    def discard(self, fingerprint: str) -> None:
+        """Drop one entry (missing entries are fine)."""
+        try:
+            self.path_for(fingerprint).unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

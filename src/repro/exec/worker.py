@@ -1,0 +1,49 @@
+"""Worker-side execution of one :class:`Job`.
+
+Kept in its own module so :func:`execute_job` is a plain top-level
+function that pickles cleanly into :class:`ProcessPoolExecutor`
+workers.  The inline (``jobs=1``) path calls the very same function,
+which is what guarantees parallel and serial sweeps return identical
+payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+from ..harness.runner import run_flow
+from ..harness.serialize import result_to_dict
+
+from .job import Job
+
+
+def initialize_worker() -> None:
+    """Pool-worker initializer.
+
+    Pins the math libraries to one thread per worker (the parallelism
+    budget belongs to the process pool, not to BLAS), and ignores
+    SIGINT so a Ctrl-C interrupts only the parent — completed jobs
+    already sit in the result store, making interrupted sweeps
+    resumable.
+    """
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS"):
+        os.environ.setdefault(var, "1")
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def execute_job(job: Job) -> dict:
+    """Run one job to completion and return its result payload.
+
+    The payload is :func:`result_to_dict` output, round-tripped through
+    JSON so that fresh results are byte-identical to cache-loaded ones
+    (string dictionary keys, JSON float formatting) regardless of where
+    they were produced.
+    """
+    result = run_flow(job.scenario, job.scheme, dict(job.spec_overrides))
+    return json.loads(json.dumps(result_to_dict(result)))

@@ -33,7 +33,9 @@ from .serialize import (
     load_results,
     result_to_dict,
     save_results,
+    summary_from_dict,
     summary_to_dict,
+    write_json_atomic,
 )
 
 __all__ = [
@@ -42,5 +44,6 @@ __all__ = [
     "jain_index", "load_results", "make_cc", "percentile",
     "representative_locations", "result_to_dict", "run_flow",
     "save_results", "stationary_locations", "summarize_flow",
-    "summary_to_dict", "windowed_throughput_bps",
+    "summary_from_dict", "summary_to_dict", "windowed_throughput_bps",
+    "write_json_atomic",
 ]

@@ -22,13 +22,21 @@ from .fig16 import run_fig16_17
 from .fig18 import run_fig18_19
 from .fig20 import run_fig20
 from .fig21 import run_fig21
-from .sweep import SweepResult, run_stationary_sweep
+from .sweep import (
+    SweepEntry,
+    SweepResult,
+    entry_to_dict,
+    run_stationary_sweep,
+    sweep_jobs,
+)
 from .table1 import table1_from_sweep
 
 __all__ = [
-    "SweepResult", "fig12_from_sweep", "fig15_from_sweep", "run_ablation",
+    "SweepEntry", "SweepResult", "entry_to_dict", "fig12_from_sweep",
+    "fig15_from_sweep", "run_ablation",
     "run_fig02", "run_fig05", "run_fig06", "run_fig07", "run_fig08",
     "run_fig11",
     "run_fig13_14", "run_fig16_17", "run_fig18_19", "run_fig20",
-    "run_fig21", "run_stationary_sweep", "table1_from_sweep",
+    "run_fig21", "run_stationary_sweep", "sweep_jobs",
+    "table1_from_sweep",
 ]

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...exec import Job, make_runner
 from ..metrics import FlowSummary
 from ..report import format_table
-from ..runner import Experiment, FlowSpec
 from ..scenarios import Scenario
+from ..serialize import summary_from_dict
 
 VARIANTS: dict[str, dict] = {
     "paper": {},
@@ -65,21 +66,28 @@ class AblationResult:
 
 
 def run_ablation(variants: tuple = tuple(VARIANTS),
-                 duration_s: float = 6.0, seed: int = 53) -> \
-        AblationResult:
-    """Run each PBE variant on the same busy cell."""
+                 duration_s: float = 6.0, seed: int = 53,
+                 jobs: int = 1, cache_dir=None,
+                 runner=None, progress=None) -> AblationResult:
+    """Run each PBE variant on the same busy cell.
+
+    Variants are independent jobs; ``jobs``/``cache_dir`` parallelize
+    and memoize them (see :mod:`repro.exec`).
+    """
+    job_list = [
+        Job(Scenario(name=f"ablation-{variant}",
+                     aggregated_cells=2, mean_sinr_db=17.0,
+                     busy=True, background_users=2,
+                     duration_s=duration_s, seed=seed),
+            "pbe", spec_overrides=dict(VARIANTS[variant]))
+        for variant in variants]
+    runner = make_runner(jobs=jobs, cache_dir=cache_dir, runner=runner,
+                         progress=progress)
     rows = []
-    for variant in variants:
-        overrides = VARIANTS[variant]
-        scenario = Scenario(name=f"ablation-{variant}",
-                            aggregated_cells=2, mean_sinr_db=17.0,
-                            busy=True, background_users=2,
-                            duration_s=duration_s, seed=seed)
-        experiment = Experiment(scenario)
-        experiment.add_flow(FlowSpec(scheme="pbe", **overrides))
-        result = experiment.run()[0]
-        fractions = result.state_fractions or {}
+    for variant, payload in zip(variants, runner.run(job_list)):
+        fractions = payload["state_fractions"] or {}
         rows.append(AblationRow(
-            variant=variant, summary=result.summary,
+            variant=variant,
+            summary=summary_from_dict(payload["summary"]),
             internet_fraction=fractions.get("internet", 0.0)))
     return AblationResult(rows)

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...exec import Job, make_runner
 from ..metrics import ORDER_STATS, FlowSummary
-from ..runner import Experiment, FlowSpec
 from ..report import format_table
 from ..scenarios import representative_locations
+from ..serialize import summary_from_dict
 
 EIGHT_SCHEMES = ("pbe", "bbr", "cubic", "verus", "sprout", "copa",
                  "pcc", "vivace")
@@ -49,16 +50,24 @@ class Fig13Result:
 
 def run_fig13_14(schemes: tuple = EIGHT_SCHEMES,
                  location_keys: tuple | None = None,
-                 duration_s: float = 8.0) -> Fig13Result:
-    """Run the drill-down grid (all six locations by default)."""
+                 duration_s: float = 8.0,
+                 jobs: int = 1, cache_dir=None,
+                 runner=None, progress=None) -> Fig13Result:
+    """Run the drill-down grid (all six locations by default).
+
+    The (location × scheme) grid is submitted as independent jobs;
+    ``jobs``/``cache_dir`` parallelize and memoize it (see
+    :mod:`repro.exec`).
+    """
     reps = representative_locations(duration_s=duration_s)
     keys = location_keys or tuple(reps)
+    job_list = [Job(reps[key], scheme)
+                for key in keys for scheme in schemes]
+    runner = make_runner(jobs=jobs, cache_dir=cache_dir, runner=runner,
+                         progress=progress)
+    payloads = iter(runner.run(job_list))
     out: dict[str, dict] = {}
     for key in keys:
-        scenario = reps[key]
-        out[key] = {}
-        for scheme in schemes:
-            experiment = Experiment(scenario)
-            experiment.add_flow(FlowSpec(scheme=scheme))
-            out[key][scheme] = experiment.run()[0].summary
+        out[key] = {scheme: summary_from_dict(next(payloads)["summary"])
+                    for scheme in schemes}
     return Fig13Result(out)

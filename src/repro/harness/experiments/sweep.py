@@ -4,15 +4,22 @@ Runs every requested scheme over every location of the 40-location
 grid (or a subset — the full sweep is hundreds of flow-seconds of
 simulation).  Table 1, Figure 12 and Figure 15 are all views of this
 one sweep's results.
+
+Each (location, scheme) run is an independent, deterministic job, so
+the sweep submits through :class:`repro.exec.ParallelRunner`: pass
+``jobs=N`` to fan runs out over worker processes and ``cache_dir`` to
+memoize completed runs on disk (re-running a sweep then only executes
+jobs whose inputs changed, and interrupted sweeps resume for free).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...exec import Job, make_runner
 from ..metrics import FlowSummary
-from ..runner import FlowSpec, Experiment
 from ..scenarios import Scenario, stationary_locations
+from ..serialize import summary_from_dict, summary_to_dict
 
 
 @dataclass
@@ -33,58 +40,97 @@ class SweepResult:
     """All runs of one stationary sweep."""
 
     entries: list[SweepEntry] = field(default_factory=list)
+    #: Lazily built {location: {scheme: entry}} index, rebuilt whenever
+    #: the entry count changes (entries are append-only in practice).
+    _location_index: dict | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _indexed_len: int = field(
+        default=-1, init=False, repr=False, compare=False)
 
     def for_scheme(self, scheme: str) -> list[SweepEntry]:
         return [e for e in self.entries if e.scheme == scheme]
 
     def for_location(self, location: str) -> dict[str, SweepEntry]:
-        return {e.scheme: e for e in self.entries
-                if e.location == location}
+        return dict(self._by_location().get(location, {}))
 
     def locations(self) -> list[str]:
-        seen: list[str] = []
-        for entry in self.entries:
-            if entry.location not in seen:
-                seen.append(entry.location)
-        return seen
+        return list(dict.fromkeys(e.location for e in self.entries))
 
     def schemes(self) -> list[str]:
-        seen: list[str] = []
-        for entry in self.entries:
-            if entry.scheme not in seen:
-                seen.append(entry.scheme)
-        return seen
+        return list(dict.fromkeys(e.scheme for e in self.entries))
+
+    def _by_location(self) -> dict:
+        if (self._location_index is None
+                or self._indexed_len != len(self.entries)):
+            index: dict[str, dict] = {}
+            for entry in self.entries:
+                index.setdefault(entry.location, {})[entry.scheme] = entry
+            self._location_index = index
+            self._indexed_len = len(self.entries)
+        return self._location_index
 
 
-def run_stationary_sweep(schemes: tuple[str, ...] = ("pbe", "bbr"),
-                         n_busy: int = 25, n_idle: int = 15,
-                         duration_s: float = 8.0,
-                         base_seed: int = 100) -> SweepResult:
-    """Run ``schemes`` over a busy/idle location grid.
+def entry_to_dict(entry: SweepEntry) -> dict:
+    """Flatten one sweep entry to JSON-ready primitives."""
+    return {
+        "scheme": entry.scheme,
+        "location": entry.location,
+        "busy": entry.busy,
+        "aggregated_cells": entry.aggregated_cells,
+        "summary": summary_to_dict(entry.summary),
+        "ca_activations": entry.ca_activations,
+        "state_fractions": entry.state_fractions,
+    }
 
-    ``n_busy=25, n_idle=15`` reproduces the paper's full 40-location
-    grid; smaller values subsample it proportionally (benchmarks use a
-    reduced grid by default to keep runtimes sane).
-    """
+
+def entry_from_payload(job: Job, payload: dict) -> SweepEntry:
+    """Build a :class:`SweepEntry` from a job and its runner payload."""
+    scenario = job.scenario
+    return SweepEntry(
+        scheme=job.scheme, location=scenario.name, busy=scenario.busy,
+        aggregated_cells=scenario.aggregated_cells,
+        summary=summary_from_dict(payload["summary"]),
+        ca_activations=payload["ca_activations"],
+        state_fractions=payload["state_fractions"])
+
+
+def sweep_jobs(schemes: tuple[str, ...] = ("pbe", "bbr"),
+               n_busy: int = 25, n_idle: int = 15,
+               duration_s: float = 8.0,
+               base_seed: int = 100) -> list[Job]:
+    """The sweep's job list ((location × scheme), submission order)."""
     if n_busy < 0 or n_idle < 0 or n_busy + n_idle == 0:
         raise ValueError("need at least one location")
     grid = stationary_locations(duration_s=duration_s,
                                 base_seed=base_seed)
     busy = [s for s in grid if s.busy][:n_busy]
     idle = [s for s in grid if not s.busy][:n_idle]
+    return [Job(scenario, scheme)
+            for scenario in busy + idle for scheme in schemes]
+
+
+def run_stationary_sweep(schemes: tuple[str, ...] = ("pbe", "bbr"),
+                         n_busy: int = 25, n_idle: int = 15,
+                         duration_s: float = 8.0,
+                         base_seed: int = 100,
+                         jobs: int = 1, cache_dir=None,
+                         runner=None, progress=None) -> SweepResult:
+    """Run ``schemes`` over a busy/idle location grid.
+
+    ``n_busy=25, n_idle=15`` reproduces the paper's full 40-location
+    grid; smaller values subsample it proportionally (benchmarks use a
+    reduced grid by default to keep runtimes sane).
+
+    ``jobs``/``cache_dir`` configure parallelism and result caching
+    (see :func:`repro.exec.make_runner`); pass a ``runner`` directly to
+    reuse a pool/store across sweeps or to inspect its telemetry.
+    """
+    job_list = sweep_jobs(schemes, n_busy=n_busy, n_idle=n_idle,
+                          duration_s=duration_s, base_seed=base_seed)
+    runner = make_runner(jobs=jobs, cache_dir=cache_dir, runner=runner,
+                         progress=progress)
+    payloads = runner.run(job_list)
     result = SweepResult()
-    for scenario in busy + idle:
-        for scheme in schemes:
-            result.entries.append(_run_one(scenario, scheme))
+    for job, payload in zip(job_list, payloads):
+        result.entries.append(entry_from_payload(job, payload))
     return result
-
-
-def _run_one(scenario: Scenario, scheme: str) -> SweepEntry:
-    experiment = Experiment(scenario)
-    experiment.add_flow(FlowSpec(scheme=scheme))
-    flow = experiment.run()[0]
-    return SweepEntry(
-        scheme=scheme, location=scenario.name, busy=scenario.busy,
-        aggregated_cells=scenario.aggregated_cells,
-        summary=flow.summary, ca_activations=flow.ca_activations,
-        state_fractions=flow.state_fractions)

@@ -8,8 +8,10 @@ paper's artifact releases raw per-run logs the same way).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from .metrics import FlowSummary
 from .runner import FlowResult
@@ -31,6 +33,26 @@ def summary_to_dict(summary: FlowSummary) -> dict:
             str(p): v for p, v in summary.delay_percentiles_ms.items()},
         "packets": summary.packets,
     }
+
+
+def summary_from_dict(data: dict) -> FlowSummary:
+    """Rebuild a :class:`FlowSummary` from :func:`summary_to_dict` output.
+
+    Accepts both freshly-built dictionaries (integer percentile keys)
+    and JSON round-tripped ones (string keys).
+    """
+    return FlowSummary(
+        scheme=data["scheme"],
+        average_throughput_bps=data["average_throughput_bps"],
+        throughput_percentiles_bps={
+            int(p): v
+            for p, v in data["throughput_percentiles_bps"].items()},
+        average_delay_ms=data["average_delay_ms"],
+        median_delay_ms=data["median_delay_ms"],
+        p95_delay_ms=data["p95_delay_ms"],
+        delay_percentiles_ms={
+            int(p): v for p, v in data["delay_percentiles_ms"].items()},
+        packets=data["packets"])
 
 
 def result_to_dict(result: FlowResult,
@@ -58,11 +80,37 @@ def result_to_dict(result: FlowResult,
     return out
 
 
+def write_json_atomic(payload, path: Union[str, Path],
+                      indent: Optional[int] = 2) -> None:
+    """Write ``payload`` as JSON, atomically.
+
+    Missing parent directories are created, and the payload lands in a
+    temporary file that is :func:`os.replace`'d over ``path`` only once
+    fully written — a crash mid-write can never leave a truncated
+    archive behind.  The experiment result cache
+    (:class:`repro.exec.ResultStore`) relies on this guarantee.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=indent)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_results(results: list, path: Union[str, Path],
                  include_samples: bool = False) -> None:
-    """Write a list of :class:`FlowResult` to a JSON file."""
+    """Write a list of :class:`FlowResult` to a JSON file (atomically)."""
     payload = [result_to_dict(r, include_samples) for r in results]
-    Path(path).write_text(json.dumps(payload, indent=2))
+    write_json_atomic(payload, path)
 
 
 def load_results(path: Union[str, Path]) -> list:

@@ -49,3 +49,28 @@ def test_experiment_command_cheap(capsys):
 def test_experiment_rejects_unknown():
     with pytest.raises(SystemExit):
         main(["experiment", "fig99"])
+
+
+def test_sweep_command_with_cache(capsys, tmp_path):
+    args = ["sweep", "--schemes", "pbe,bbr", "--busy", "1", "--idle",
+            "1", "--duration", "1", "--cache-dir",
+            str(tmp_path / "cache"), "--save",
+            str(tmp_path / "sweep.json")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Stationary sweep" in out
+    assert "pbe" in out and "bbr" in out
+    assert (tmp_path / "sweep.json").is_file()
+
+    # warm-cache rerun: same table, no simulation (cached on stderr)
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert captured.out == out
+    assert "cached" in captured.err
+
+
+def test_sweep_command_table1_view(capsys):
+    assert main(["sweep", "--schemes", "pbe,bbr,verus,copa", "--busy",
+                 "1", "--idle", "1", "--duration", "1", "--view",
+                 "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out

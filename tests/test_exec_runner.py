@@ -1,0 +1,204 @@
+"""ParallelRunner: parallel/serial equivalence, memoization, telemetry.
+
+Simulations here are deliberately tiny (one 10 MHz carrier, ~1 s
+flows) — the subject under test is the execution subsystem, not the
+simulator.
+"""
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.exec import (
+    Job,
+    JobEvent,
+    JobExecutionError,
+    ParallelRunner,
+    ResultStore,
+    canonical_json,
+    execute_job,
+)
+from repro.harness import Scenario
+from repro.harness.experiments import run_stationary_sweep
+from repro.phy.carrier import CarrierConfig
+
+SWEEP_KW = dict(schemes=("pbe", "bbr"), n_busy=1, n_idle=1,
+                duration_s=1.0)
+
+
+def tiny_scenario(seed=7, **overrides):
+    base = dict(name=f"runner-{seed}", carriers=[CarrierConfig(0, 10.0)],
+                aggregated_cells=1, mean_sinr_db=14.0,
+                duration_s=1.0, seed=seed)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def pool_works() -> bool:
+    """True when this platform can actually spawn pool workers."""
+    try:
+        with concurrent.futures.ProcessPoolExecutor(1) as pool:
+            return pool.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------
+# Cross-process determinism: the cache key (job inputs) must pin down
+# the payload bytes no matter where the job ran.
+def test_worker_process_payload_is_byte_identical_to_inline():
+    if not pool_works():
+        pytest.skip("no working process pool on this platform")
+    jobs = [Job(tiny_scenario(seed=7), "pbe"),
+            Job(tiny_scenario(seed=8), "bbr")]
+    inline = [execute_job(job) for job in jobs]
+    with concurrent.futures.ProcessPoolExecutor(2) as pool:
+        remote = list(pool.map(execute_job, jobs))
+    for a, b in zip(inline, remote):
+        assert canonical_json(a) == canonical_json(b)
+
+
+def test_parallel_sweep_equals_serial_sweep():
+    serial = run_stationary_sweep(jobs=1, **SWEEP_KW)
+    parallel = run_stationary_sweep(jobs=4, **SWEEP_KW)
+    assert serial == parallel
+    assert [e.scheme for e in serial.entries] == \
+        [e.scheme for e in parallel.entries]
+
+
+# ---------------------------------------------------------------------
+# Memoization through the ResultStore.
+def test_warm_cache_executes_zero_jobs(tmp_path):
+    store = ResultStore(tmp_path)
+    cold = ParallelRunner(store=store)
+    first = run_stationary_sweep(runner=cold, **SWEEP_KW)
+    assert cold.stats.executed == 4
+    assert cold.stats.cache_hits == 0
+
+    warm = ParallelRunner(store=store)
+    second = run_stationary_sweep(runner=warm, **SWEEP_KW)
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == warm.stats.total == 4
+    assert warm.stats.cache_hit_rate == 1.0
+    assert first == second
+
+
+def test_warm_cache_is_shared_by_parallel_runs(tmp_path):
+    first = run_stationary_sweep(jobs=4, cache_dir=tmp_path, **SWEEP_KW)
+    warm = ParallelRunner(jobs=4, store=ResultStore(tmp_path))
+    second = run_stationary_sweep(runner=warm, **SWEEP_KW)
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == 4
+    assert first == second
+
+
+def test_fingerprint_change_forces_reexecution(tmp_path):
+    store = ResultStore(tmp_path)
+    run_stationary_sweep(runner=ParallelRunner(store=store), **SWEEP_KW)
+
+    for changed in (dict(SWEEP_KW, base_seed=101),
+                    dict(SWEEP_KW, duration_s=1.2),
+                    dict(SWEEP_KW, schemes=("pbe", "cubic"))):
+        runner = ParallelRunner(store=store)
+        run_stationary_sweep(runner=runner, **changed)
+        assert runner.stats.executed > 0, changed
+
+
+def test_spec_override_changes_fingerprint_and_result(tmp_path):
+    runner = ParallelRunner(store=ResultStore(tmp_path))
+    base = Job(tiny_scenario(), "cbr")
+    slow = Job(tiny_scenario(), "cbr",
+               {"cc_kwargs": {"rate_bps": 1e6}})
+    [p_base, p_slow] = runner.run([base, slow])
+    assert runner.stats.executed == 2  # distinct fingerprints
+    assert p_base["summary"]["average_throughput_bps"] > \
+        p_slow["summary"]["average_throughput_bps"]
+
+
+def test_corrupt_cache_entry_reexecuted(tmp_path):
+    store = ResultStore(tmp_path)
+    job = Job(tiny_scenario(), "bbr")
+    first = ParallelRunner(store=store)
+    [payload] = first.run([job])
+    store.path_for(job.fingerprint()).write_text('{"broken')
+
+    again = ParallelRunner(store=store)
+    [recomputed] = again.run([job])
+    assert again.stats.executed == 1
+    assert again.stats.cache_hits == 0
+    assert recomputed == payload  # determinism heals the cache
+
+
+# ---------------------------------------------------------------------
+# Runner mechanics.
+def test_duplicate_jobs_execute_once():
+    runner = ParallelRunner()
+    job = Job(tiny_scenario(), "bbr")
+    results = runner.run([job, Job(tiny_scenario(), "bbr")])
+    assert runner.stats.executed == 1
+    assert runner.stats.deduplicated == 1
+    assert results[0] is results[1]
+
+
+def test_progress_events_and_stats(tmp_path):
+    events = []
+    runner = ParallelRunner(store=ResultStore(tmp_path),
+                            progress=events.append)
+    jobs = [Job(tiny_scenario(seed=7), "bbr"),
+            Job(tiny_scenario(seed=8), "bbr")]
+    runner.run(jobs)
+    assert [e.kind for e in events] == ["executed", "executed"]
+    assert events[-1].done == events[-1].total == 2
+    assert all(isinstance(e, JobEvent) for e in events)
+    assert len(runner.stats.job_wall_s) == 2
+    assert runner.stats.wall_s > 0
+    assert "2 jobs" in runner.stats.format()
+
+    events.clear()
+    cached = ParallelRunner(store=ResultStore(tmp_path),
+                            progress=events.append)
+    cached.run(jobs)
+    assert [e.kind for e in events] == ["cached", "cached"]
+
+
+def test_pool_unavailable_falls_back_inline(monkeypatch):
+    events = []
+    runner = ParallelRunner(jobs=4, progress=events.append)
+    monkeypatch.setattr(runner, "_make_executor", lambda n: None)
+    [payload] = runner.run([Job(tiny_scenario(), "bbr")])
+    assert payload["summary"]["packets"] > 0
+    assert runner.stats.executed == 1
+
+
+def test_job_error_propagates_inline():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        ParallelRunner().run([Job(tiny_scenario(), "warp-drive")])
+
+
+def test_timeout_guard_raises_after_retries():
+    if not pool_works():
+        pytest.skip("no working process pool on this platform")
+    runner = ParallelRunner(jobs=2, timeout_s=0.001, retries=0)
+    with pytest.raises(JobExecutionError) as err:
+        # two jobs: a single pending job would take the inline path,
+        # which has no pool to time out on
+        runner.run([Job(tiny_scenario(seed=7), "bbr"),
+                    Job(tiny_scenario(seed=8), "bbr")])
+    assert "/bbr" in str(err.value)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ParallelRunner(jobs=0)
+    with pytest.raises(ValueError):
+        ParallelRunner(retries=-1)
+    with pytest.raises(ValueError):
+        ParallelRunner(timeout_s=0)
+
+
+def test_payloads_are_json_normalized():
+    [payload] = ParallelRunner().run([Job(tiny_scenario(), "pbe")])
+    assert payload == json.loads(json.dumps(payload))
+    assert all(isinstance(k, str)
+               for k in payload["summary"]["delay_percentiles_ms"])

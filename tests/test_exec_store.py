@@ -1,0 +1,84 @@
+"""ResultStore and atomic-JSON-write behaviour (no simulation here)."""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import ResultStore
+from repro.harness.serialize import write_json_atomic
+
+FP = "ab" + "0" * 62
+FP2 = "cd" + "1" * 62
+
+
+def test_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    assert store.get(FP) is None
+    assert FP not in store
+    store.put(FP, {"x": 1.5, "nested": {"k": [1, 2]}})
+    assert FP in store
+    assert store.get(FP) == {"x": 1.5, "nested": {"k": [1, 2]}}
+    assert len(store) == 1
+
+
+def test_entries_sharded_by_prefix(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {})
+    store.put(FP2, {})
+    assert (tmp_path / "ab" / f"{FP}.json").is_file()
+    assert (tmp_path / "cd" / f"{FP2}.json").is_file()
+    assert len(store) == 2
+
+
+def test_corrupt_entry_discarded_not_crashed(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"ok": True})
+    path = store.path_for(FP)
+    path.write_text('{"ok": tru')  # truncated mid-write
+    assert store.get(FP) is None
+    assert not path.exists()  # debris removed; next run re-executes
+
+
+def test_non_dict_entry_discarded(tmp_path):
+    store = ResultStore(tmp_path)
+    store.path_for(FP).parent.mkdir(parents=True)
+    store.path_for(FP).write_text("[1, 2, 3]")
+    assert store.get(FP) is None
+    assert FP not in store
+
+
+def test_malformed_fingerprint_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    for bad in ("", "../escape", "a/b", "a.b"):
+        with pytest.raises(ValueError):
+            store.path_for(bad)
+
+
+def test_discard_missing_is_fine(tmp_path):
+    ResultStore(tmp_path).discard(FP)
+
+
+# ---------------------------------------------------------------------
+def test_write_json_atomic_creates_parents(tmp_path):
+    path = tmp_path / "deep" / "nested" / "out.json"
+    write_json_atomic({"a": 1}, path)
+    assert json.loads(path.read_text()) == {"a": 1}
+
+
+def test_write_json_atomic_leaves_no_temp_debris(tmp_path):
+    path = tmp_path / "out.json"
+    write_json_atomic([1, 2], path)
+    write_json_atomic([3, 4], path)  # overwrite in place
+    assert json.loads(path.read_text()) == [3, 4]
+    assert os.listdir(tmp_path) == ["out.json"]
+
+
+def test_write_json_atomic_failure_keeps_old_content(tmp_path):
+    path = tmp_path / "out.json"
+    write_json_atomic({"good": True}, path)
+    with pytest.raises(TypeError):
+        write_json_atomic({"bad": object()}, path)
+    # old archive untouched, no temp files left behind
+    assert json.loads(path.read_text()) == {"good": True}
+    assert os.listdir(tmp_path) == ["out.json"]

@@ -45,6 +45,33 @@ def test_sweep_validation():
         run_stationary_sweep(n_busy=0, n_idle=0)
 
 
+def test_sweep_index_tracks_appended_entries():
+    # Pure-data check of SweepResult's lazily built location index:
+    # dedup is order-preserving and the index follows later appends.
+    from dataclasses import replace
+
+    from repro.harness.experiments import SweepEntry, SweepResult
+
+    def entry(scheme, location):
+        return SweepEntry(scheme=scheme, location=location, busy=True,
+                          aggregated_cells=1, summary=None,
+                          ca_activations=0, state_fractions=None)
+
+    sweep = SweepResult(entries=[entry("pbe", "b"), entry("bbr", "b"),
+                                 entry("pbe", "a")])
+    assert sweep.locations() == ["b", "a"]
+    assert sweep.schemes() == ["pbe", "bbr"]
+    assert set(sweep.for_location("b")) == {"pbe", "bbr"}
+    assert sweep.for_location("missing") == {}
+    # mutating the returned view must not corrupt the index
+    sweep.for_location("b").clear()
+    assert set(sweep.for_location("b")) == {"pbe", "bbr"}
+
+    sweep.entries.append(entry("bbr", "a"))
+    assert set(sweep.for_location("a")) == {"pbe", "bbr"}
+    assert replace(sweep.entries[0]) == sweep.entries[0]
+
+
 def test_table1_reduction(tiny_sweep):
     result = table1_from_sweep(tiny_sweep, baselines=("bbr",))
     assert len(result.rows) == 2
