@@ -7,6 +7,8 @@ Commands
 ``compare``    several schemes head-to-head on the same cell
 ``experiment`` run one of the paper's table/figure drivers by name
 ``sweep``      the §6.3.1 stationary sweep, parallel and cacheable
+``resilience`` fault-injection sweep: DCI miss-rate × decoder-outage
+               grid with graceful-degradation telemetry
 ``list``       list schemes and experiments
 
 Multi-run commands (``experiment`` sweeps, ``sweep``) accept ``--jobs
@@ -21,6 +23,9 @@ Examples
     python -m repro experiment table1 --locations 4 --jobs 4
     python -m repro sweep --schemes pbe,bbr --busy 8 --idle 5 \\
         --jobs 8 --cache-dir .repro-cache --view table1
+    python -m repro resilience --miss 0,0.05,0.2 --outage-ms 0,500 \\
+        --jobs 4
+    python -m repro resilience --smoke
 """
 
 from __future__ import annotations
@@ -191,6 +196,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """``repro resilience``: the fault-injection degradation sweep."""
+    from .harness import experiments as exp
+    if args.smoke:
+        # CI-sized: one scheme, one impaired cell with a mid-run
+        # outage, so the fallback/recovery path runs on every push.
+        schemes: tuple = ("pbe",)
+        miss_rates: tuple = (0.0, 0.2)
+        outages_ms: tuple = (0, 500)
+        duration = 2.0
+    else:
+        schemes = tuple(s.strip() for s in args.schemes.split(",")
+                        if s.strip())
+        miss_rates = tuple(float(m) for m in args.miss.split(","))
+        outages_ms = tuple(int(o) for o in args.outage_ms.split(","))
+        duration = args.duration
+    result = exp.run_resilience(
+        schemes=schemes, miss_rates=miss_rates, outages_ms=outages_ms,
+        duration_s=duration, base_seed=args.seed,
+        fault_seed=args.fault_seed, **_exec_kwargs(args))
+    print(result.format())
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """``repro list``: show available schemes and experiments."""
     print("schemes:     " + ", ".join(sorted(SCHEMES)))
@@ -269,6 +298,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write per-run JSON entries here")
     _add_exec_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="fault-injection sweep: DCI miss-rate x outage grid")
+    p_res.add_argument("--schemes", default="pbe,bbr",
+                       help="comma-separated scheme list")
+    p_res.add_argument("--miss", default="0,0.05,0.2",
+                       help="comma-separated DCI miss probabilities")
+    p_res.add_argument("--outage-ms", default="0,500",
+                       help="comma-separated decoder outage durations")
+    p_res.add_argument("--duration", type=float, default=6.0,
+                       help="flow duration in seconds")
+    p_res.add_argument("--seed", type=int, default=400,
+                       help="scenario seed")
+    p_res.add_argument("--fault-seed", type=int, default=7,
+                       help="fault-schedule seed")
+    p_res.add_argument("--smoke", action="store_true",
+                       help="CI-sized grid (one scheme, short flows)")
+    _add_exec_options(p_res)
+    p_res.set_defaults(func=cmd_resilience)
 
     p_list = sub.add_parser("list", help="list schemes and experiments")
     p_list.set_defaults(func=cmd_list)

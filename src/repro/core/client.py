@@ -75,6 +75,8 @@ class PbeClient(AckingReceiver):
         #: Time spent in each state, µs (for §6.3.1's 18%/4% statistic).
         self.time_in_state = {WIRELESS: 0, INTERNET: 0}
         self._state_since = 0
+        #: ACKs that carried a stale-flagged report (decode gaps).
+        self.stale_reports = 0
 
     # ------------------------------------------------------------------
     # Delay bookkeeping
@@ -120,7 +122,10 @@ class PbeClient(AckingReceiver):
 
         rtprop_us = self._rtprop_us(packet)
         rtprop_subframes = max(1, rtprop_us // 1_000)
-        report = self.monitor.report(rtprop_subframes)
+        # The UE's subframe clock keeps ticking even when the decoder
+        # is dark — pass it so the report carries a staleness signal.
+        report = self.monitor.report(rtprop_subframes,
+                                     now_subframe=now // US_PER_MS)
         self._last_report = report
 
         threshold = self.delay_threshold_us
@@ -149,11 +154,14 @@ class PbeClient(AckingReceiver):
         # station's per-user fairness arbitrates any overshoot.
         target = max(report.transport_capacity_bps,
                      report.transport_fair_share_bps)
+        if report.is_stale:
+            self.stale_reports += 1
         return PbeFeedback.from_rates(
             target_rate_bps=target,
             fair_rate_bps=report.transport_fair_share_bps,
             internet_bottleneck=(self.state == INTERNET),
-            carrier_activated=report.carrier_activated)
+            carrier_activated=report.carrier_activated,
+            stale=report.is_stale)
 
     def _switch(self, state: str, now_us: int) -> None:
         self.time_in_state[self.state] += now_us - self._state_since

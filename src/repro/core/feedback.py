@@ -8,6 +8,11 @@ current bottleneck state.  We encode the interval in *microseconds*
 millisecond interval could not express rates above 12 Mbit/s), so the
 representable rate range is 12 kbit/s … 12 Tbit/s and quantization
 error stays under 1% for rates below 120 Mbit/s (≤6% out to 1.2 Gbit/s).
+
+Decoding is *saturating*: a corrupted interval (e.g. a flipped field on
+a mangled ACK) clamps to the representable range instead of raising, so
+one bad ACK can never kill the sender; clamp events are counted for
+telemetry (:func:`decode_clamp_count`).
 """
 
 from __future__ import annotations
@@ -17,6 +22,21 @@ from dataclasses import dataclass
 from ..net.units import MSS_BITS, US_PER_S
 
 _UINT32_MAX = 2**32 - 1
+
+#: Count of out-of-range intervals clamped by :func:`decode_rate_bps`
+#: since process start / the last :func:`reset_decode_clamp_count`.
+_clamp_events = 0
+
+
+def decode_clamp_count() -> int:
+    """Out-of-range feedback intervals saturated so far (telemetry)."""
+    return _clamp_events
+
+
+def reset_decode_clamp_count() -> None:
+    """Zero the clamp-event counter (test/experiment isolation)."""
+    global _clamp_events
+    _clamp_events = 0
 
 
 def encode_interval_us(rate_bps: float) -> int:
@@ -32,9 +52,16 @@ def encode_interval_us(rate_bps: float) -> int:
 
 
 def decode_rate_bps(interval_us: int) -> float:
-    """Inverse of :func:`encode_interval_us`."""
+    """Inverse of :func:`encode_interval_us`, saturating.
+
+    Out-of-range intervals — which a well-behaved client never sends,
+    but a corrupted ACK can carry — clamp to the representable range
+    and bump the clamp-event counter instead of raising.
+    """
     if not 1 <= interval_us <= _UINT32_MAX:
-        raise ValueError(f"interval out of 32-bit range: {interval_us}")
+        global _clamp_events
+        _clamp_events += 1
+        interval_us = min(max(int(interval_us), 1), _UINT32_MAX)
     return MSS_BITS * US_PER_S / interval_us
 
 
@@ -51,14 +78,19 @@ class PbeFeedback:
     #: Secondary-carrier (re)activation flag: sender restarts its
     #: fair-share approach (§4.1).
     carrier_activated: bool = False
+    #: Staleness bit: the client's monitor report has outlived its
+    #: decode stream (gap/outage), so the rates above are echoes of an
+    #: old estimate — the sender should not steer by them.
+    stale: bool = False
 
     @classmethod
     def from_rates(cls, target_rate_bps: float, fair_rate_bps: float,
                    internet_bottleneck: bool,
-                   carrier_activated: bool = False) -> "PbeFeedback":
+                   carrier_activated: bool = False,
+                   stale: bool = False) -> "PbeFeedback":
         return cls(encode_interval_us(target_rate_bps),
                    encode_interval_us(fair_rate_bps),
-                   internet_bottleneck, carrier_activated)
+                   internet_bottleneck, carrier_activated, stale)
 
     @property
     def target_rate_bps(self) -> float:

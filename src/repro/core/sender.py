@@ -14,6 +14,13 @@ feedback:
   phase at ``0.5·BtlBw``, run a cellular-tailored BBR whose probing
   rate is capped at the wireless fair share:
   ``Cprobe = min(1.25·BtlBw, Cf)`` (Eqn. 7).
+* **Feedback-loss fallback** — a watchdog tracks the freshness of the
+  client's capacity reports.  When reports go stale (decoder outage,
+  lost/corrupted ACK feedback, a client that stops reporting — §7),
+  the sender falls back to the same embedded delay-based BBR, which
+  every ACK has kept warm; when fresh reports resume it re-syncs by
+  ramping from the fallback operating point back to the reported fair
+  share, reusing the §4.1 startup machinery.
 """
 
 from __future__ import annotations
@@ -27,8 +34,8 @@ from ..net.units import MSS_BITS, US_PER_S
 from .feedback import PbeFeedback
 from .guard import FeedbackGuard
 
-STARTUP, WIRELESS, DRAIN, INTERNET = ("startup", "wireless", "drain",
-                                      "internet")
+STARTUP, WIRELESS, DRAIN, INTERNET, FALLBACK = (
+    "startup", "wireless", "drain", "internet", "fallback")
 
 #: Startup ramp length, in round-trip times (§4.1: three RTTs).
 RAMP_RTTS = 3
@@ -47,6 +54,9 @@ CWND_SLACK_PACKETS = 4
 #: 8 ms stall blocks the window and the paced sender can never win the
 #: time back.
 RETX_MARGIN_US = 16_000
+#: Floor of the feedback watchdog timeout, µs (the auto timeout is
+#: ``max(4·RTprop, this)`` so ordinary ACK batching never trips it).
+MIN_FEEDBACK_TIMEOUT_US = 100_000
 
 
 class PbeSender(CongestionControl):
@@ -60,7 +70,8 @@ class PbeSender(CongestionControl):
                  pacing_gain: float = WIRELESS_PACING_GAIN,
                  retx_margin_us: int = RETX_MARGIN_US,
                  cap_probe_at_fair_share: bool = True,
-                 guard: Optional[FeedbackGuard] = None) -> None:
+                 guard: Optional[FeedbackGuard] = None,
+                 feedback_timeout_us: Optional[int] = None) -> None:
         """Ablation knobs (defaults are the paper's design):
 
         ``ramp_rtts=0`` jumps straight to Cf instead of the §4.1 linear
@@ -71,11 +82,18 @@ class PbeSender(CongestionControl):
         ``guard`` optionally attaches the §7 misreported-feedback
         detector: once it flags the client, the sender ignores inflated
         capacity reports and caps at the measured throughput.
+
+        ``feedback_timeout_us`` overrides the feedback watchdog: with
+        no fresh (non-stale) capacity report for this long, the sender
+        falls back to its delay-based estimator.  ``None`` sizes the
+        timeout automatically as ``max(4·RTprop, 100 ms)``.
         """
         if initial_rate_bps <= 0:
             raise ValueError("initial rate must be positive")
         if ramp_rtts < 0 or retx_margin_us < 0 or pacing_gain <= 0:
             raise ValueError("ablation knobs must be non-negative")
+        if feedback_timeout_us is not None and feedback_timeout_us <= 0:
+            raise ValueError("feedback timeout must be positive")
         self.mss_bits = mss_bits
         self.initial_rate_bps = initial_rate_bps
         self.ramp_rtts = ramp_rtts
@@ -100,6 +118,15 @@ class PbeSender(CongestionControl):
         self._drain_until_us = 0
         self.state_changes: list[tuple[int, str]] = []
 
+        #: Feedback watchdog: timestamp of the last fresh (non-stale)
+        #: capacity report; falls back to the first ACK of any kind so
+        #: a client that never reports (§7) still triggers a fallback.
+        self.feedback_timeout_us = feedback_timeout_us
+        self._last_fresh_us: Optional[int] = None
+        self._first_ack_us: Optional[int] = None
+        self.fallback_entries = 0
+        self.stale_feedback_acks = 0
+
     # ------------------------------------------------------------------
     def _fair_share_cap(self) -> Optional[float]:
         if not self.cap_probe_at_fair_share:
@@ -117,11 +144,65 @@ class PbeSender(CongestionControl):
         self.state = state
         self.state_changes.append((now_us, state))
 
+    def state_durations_us(self, now_us: int) -> dict[str, int]:
+        """Cumulative time spent in each state up to ``now_us``."""
+        durations = dict.fromkeys(
+            (STARTUP, WIRELESS, DRAIN, INTERNET, FALLBACK), 0)
+        prev_t, prev_state = 0, STARTUP
+        for t, state in self.state_changes:
+            durations[prev_state] += max(0, t - prev_t)
+            prev_t, prev_state = t, state
+        durations[prev_state] += max(0, now_us - prev_t)
+        return durations
+
+    # ------------------------------------------------------------------
+    # Feedback watchdog (graceful degradation)
+    # ------------------------------------------------------------------
+    def _watchdog_timeout_us(self) -> int:
+        if self.feedback_timeout_us is not None:
+            return self.feedback_timeout_us
+        return max(4 * self.rtprop_us, MIN_FEEDBACK_TIMEOUT_US)
+
+    def _check_watchdog(self, now_us: int) -> None:
+        """Fall back to the delay-based estimator on stale feedback.
+
+        Armed by the first ACK of any kind, refreshed by every fresh
+        (non-stale) capacity report.  The embedded BBR has been fed
+        every ACK, so its BtlBw/RTprop filters are warm the instant we
+        hand it control.
+        """
+        reference = (self._last_fresh_us if self._last_fresh_us is not None
+                     else self._first_ack_us)
+        if self.state == FALLBACK or reference is None:
+            return
+        if now_us - reference <= self._watchdog_timeout_us():
+            return
+        self.fallback_entries += 1
+        self.bbr.filled_pipe = True
+        if self.bbr.state != PROBE_BW:
+            self.bbr.enter_probe_bw(now_us)
+        self._switch(FALLBACK, now_us)
+
+    def _resync_after_fallback(self, now_us: int) -> None:
+        """Fresh reports resumed: ramp back onto explicit feedback.
+
+        Reuses the §4.1 startup machinery — ramp from the fallback
+        operating point (BBR's bandwidth estimate) to the reported
+        fair share over three RTTs, so the re-entry cannot shock the
+        cell any more than a carrier activation does.
+        """
+        self._ramp_base_bps = max(self.initial_rate_bps,
+                                  self.bbr.btlbw_bps)
+        self._ramp_start_us = now_us
+        self._switch(STARTUP, now_us)
+
     # ------------------------------------------------------------------
     # ACK processing
     # ------------------------------------------------------------------
     def on_ack(self, ctx: AckContext) -> None:
         now = ctx.now_us
+        if self._first_ack_us is None:
+            self._first_ack_us = now
         if ctx.rtt_us > 0:
             self._srtt_us = (ctx.rtt_us if self._srtt_us == 0 else
                              round(0.875 * self._srtt_us
@@ -130,7 +211,19 @@ class PbeSender(CongestionControl):
 
         feedback = ctx.ack.feedback
         if not isinstance(feedback, PbeFeedback):
+            # Feedback lost/corrupted off this ACK; the watchdog decides
+            # when the silence has lasted long enough to fall back.
+            self._check_watchdog(now)
             return
+        if feedback.stale:
+            # The client itself flagged the report as an echo of a dead
+            # decode stream — do not steer by its rates.
+            self.stale_feedback_acks += 1
+            self._check_watchdog(now)
+            return
+        if self.state == FALLBACK:
+            self._resync_after_fallback(now)
+        self._last_fresh_us = now
         self.target_rate_bps = feedback.target_rate_bps
         self.fair_rate_bps = feedback.fair_rate_bps
         if self.guard is not None:
@@ -204,6 +297,7 @@ class PbeSender(CongestionControl):
         return rate
 
     def pacing_rate_bps(self, now_us: int) -> float:
+        self._check_watchdog(now_us)
         if self.state == STARTUP:
             return self._current_wireless_rate(now_us)
         if self.state == WIRELESS:
@@ -214,6 +308,7 @@ class PbeSender(CongestionControl):
         return self.bbr.pacing_rate_bps(now_us)
 
     def cwnd_bits(self, now_us: int) -> Optional[float]:
+        self._check_watchdog(now_us)
         slack = CWND_SLACK_PACKETS * self.mss_bits
         if self.state in (STARTUP, WIRELESS, DRAIN):
             rate = self._current_wireless_rate(now_us)

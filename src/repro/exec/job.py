@@ -26,7 +26,11 @@ from ..harness.scenarios import Scenario
 
 #: Bump when the payload schema or simulation semantics change in a way
 #: that invalidates previously cached results.
-FINGERPRINT_VERSION = 1
+#:
+#: v2: fault-injection/degradation PR — payloads gained
+#: ``sender_states``/``fault_stats``, PBE senders gained the feedback
+#: watchdog, and monitors flush decode-latency buffers at teardown.
+FINGERPRINT_VERSION = 2
 
 
 def canonical_json(payload) -> str:

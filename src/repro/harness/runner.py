@@ -29,11 +29,12 @@ from ..baselines import (
 from ..cell.basestation import CellularNetwork
 from ..core.client import PbeClient
 from ..core.sender import PbeSender
+from ..faults import FaultSpec, ImpairedPipe, LossyDecoder
 from ..monitor.pbe import PbeMonitor
 from ..net.flow import FlowStats
 from ..net.link import BatchingPipe, FlowDemux, Link, Receiver
 from ..net.sim import Simulator
-from ..net.units import us_from_seconds
+from ..net.units import US_PER_S, us_from_seconds
 from ..phy.channel import ChannelModel
 from ..phy.error import sinr_to_ber
 from ..traces.workload import OnOffRandomDemand
@@ -102,6 +103,16 @@ class FlowSpec:
     #: PBE-only ablation knobs for the mobile client / monitor.
     pbe_client_kwargs: dict = field(default_factory=dict)
     pbe_monitor_kwargs: dict = field(default_factory=dict)
+    #: Fault-injection knobs, as a JSON-ready
+    #: :meth:`repro.faults.FaultSpec.to_dict` dictionary (kept as plain
+    #: primitives so batch jobs stay content-fingerprintable).
+    faults: Optional[dict] = None
+
+    def fault_spec(self) -> Optional[FaultSpec]:
+        """Parsed fault spec, or ``None`` when no faults configured."""
+        if not self.faults:
+            return None
+        return FaultSpec.from_dict(self.faults)
 
 
 @dataclass
@@ -113,10 +124,26 @@ class FlowHandle:
     receiver: AckingReceiver
     cc: CongestionControl
     monitor: Optional[PbeMonitor] = None
+    #: Fault injectors installed for this flow, when any.
+    impaired_pipe: Optional[ImpairedPipe] = None
+    lossy_decoders: dict = field(default_factory=dict)
 
     @property
     def stats(self) -> FlowStats:
         return self.receiver.stats
+
+    def fault_stats(self) -> Optional[dict]:
+        """Impairment counters from this flow's injectors."""
+        if self.impaired_pipe is None and not self.lossy_decoders:
+            return None
+        out: dict = {}
+        if self.impaired_pipe is not None:
+            out["ack_pipe"] = self.impaired_pipe.stats()
+        if self.lossy_decoders:
+            out["decoders"] = {
+                str(cell): lossy.stats()
+                for cell, lossy in sorted(self.lossy_decoders.items())}
+        return out
 
 
 @dataclass
@@ -133,6 +160,11 @@ class FlowResult:
     state_fractions: Optional[dict] = None
     #: Per-subframe ``(subframe, cell_id, prbs)`` log, if requested.
     allocations: Optional[list] = None
+    #: PBE-only: seconds the sender spent in each control state
+    #: (startup/wireless/drain/internet/fallback).
+    sender_states: Optional[dict] = None
+    #: Impairment counters from any installed fault injectors.
+    fault_stats: Optional[dict] = None
 
 
 class Experiment:
@@ -198,14 +230,26 @@ class Experiment:
                      **spec.cc_kwargs)
         sender = Sender(sim, flow_id=spec.rnti, cc=cc, egress=egress,
                         app_rate_bps=spec.app_rate_bps)
-        uplink = BatchingPipe(
+        uplink: Receiver = BatchingPipe(
             sim, sender, scenario.uplink_delay_us,
             batch_interval_us=scenario.uplink_batch_us,
             name=f"uplink-{spec.rnti}")
 
+        # Reverse-path fault injection sits between the phone and the
+        # LTE uplink batching stage (any scheme can be impaired).
+        fault_spec = spec.fault_spec()
+        impaired_pipe: Optional[ImpairedPipe] = None
+        if fault_spec is not None and fault_spec.impairs_pipe:
+            impaired_pipe = ImpairedPipe(
+                sim, uplink, fault_spec, flow_id=spec.rnti,
+                name=f"impaired-{spec.rnti}")
+            uplink = impaired_pipe
+
         monitor: Optional[PbeMonitor] = None
+        lossy_decoders: dict = {}
         if spec.scheme == "pbe":
-            receiver, monitor = self._wire_pbe(spec, cells, uplink)
+            receiver, monitor, lossy_decoders = self._wire_pbe(
+                spec, cells, uplink, fault_spec)
         else:
             receiver = AckingReceiver(sim, spec.rnti, uplink)
 
@@ -219,7 +263,9 @@ class Experiment:
         sim.schedule(us_from_seconds(min(end_s, scenario.duration_s)),
                      sender.stop)
 
-        handle = FlowHandle(spec, sender, receiver, cc, monitor)
+        handle = FlowHandle(spec, sender, receiver, cc, monitor,
+                            impaired_pipe=impaired_pipe,
+                            lossy_decoders=lossy_decoders)
         self.flows.append(handle)
         return handle
 
@@ -254,8 +300,10 @@ class Experiment:
         self.sim.schedule(us_from_seconds(at_s), perform)
 
     def _wire_pbe(self, spec: FlowSpec, cells: list[int],
-                  uplink: Receiver) -> tuple[PbeClient, PbeMonitor]:
-        """Build the PBE monitor + client for one device."""
+                  uplink: Receiver,
+                  fault_spec: Optional[FaultSpec] = None,
+                  ) -> tuple[PbeClient, PbeMonitor, dict]:
+        """Build the PBE monitor + client (and injectors) for one device."""
         network = self.network
 
         def own_rate_hint() -> tuple[int, float]:
@@ -266,12 +314,18 @@ class Experiment:
         monitor = PbeMonitor(spec.rnti, cell_prbs, primary_cell=cells[0],
                              own_rate_hint=own_rate_hint,
                              **spec.pbe_monitor_kwargs)
+        lossy_decoders: dict = {}
         for cell_id in cells:
-            network.attach_monitor(cell_id,
-                                   monitor.decoder_callback(cell_id))
+            callback = monitor.decoder_callback(cell_id)
+            if fault_spec is not None and fault_spec.impairs_decoder:
+                lossy = LossyDecoder(monitor.decoders[cell_id],
+                                     fault_spec)
+                lossy_decoders[cell_id] = lossy
+                callback = lossy.on_subframe
+            network.attach_monitor(cell_id, callback)
         receiver = PbeClient(self.sim, spec.rnti, uplink, monitor,
                              **spec.pbe_client_kwargs)
-        return receiver, monitor
+        return receiver, monitor, lossy_decoders
 
     # ------------------------------------------------------------------
     def run(self) -> list[FlowResult]:
@@ -279,11 +333,20 @@ class Experiment:
         self.sim.run(until_us=us_from_seconds(self.scenario.duration_s))
         results = []
         for handle in self.flows:
-            extras: dict = {}
             state_fractions = None
             if isinstance(handle.receiver, PbeClient):
                 state_fractions = handle.receiver.state_fractions(
                     self.sim.now)
+            if handle.monitor is not None:
+                # Teardown: drain decoder latency buffers so the last
+                # records of the stream are not stranded in _pending.
+                handle.monitor.flush()
+            sender_states = None
+            if isinstance(handle.cc, PbeSender):
+                sender_states = {
+                    state: us / US_PER_S
+                    for state, us in handle.cc.state_durations_us(
+                        self.sim.now).items()}
             allocations = None
             user = self.network.user(handle.spec.rnti)
             if user.allocated_history is not None:
@@ -297,7 +360,9 @@ class Experiment:
                 ca_activations=self.network.ca.activations_for(
                     handle.spec.rnti),
                 state_fractions=state_fractions,
-                allocations=allocations))
+                allocations=allocations,
+                sender_states=sender_states,
+                fault_stats=handle.fault_stats()))
         return results
 
 

@@ -70,6 +70,8 @@ def result_to_dict(result: FlowResult,
         "lost_packets": result.lost_packets,
         "ca_activations": result.ca_activations,
         "state_fractions": result.state_fractions,
+        "sender_states": result.sender_states,
+        "fault_stats": result.fault_stats,
     }
     if include_samples:
         out["samples"] = {

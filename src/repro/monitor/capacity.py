@@ -47,6 +47,9 @@ class CellEstimate:
     idle: float                #: mean Pidle, PRBs.
     users: int                 #: N_i.
     mean_ber: float
+    #: Fraction of the averaged window's subframes actually decoded
+    #: (1.0 = gap-free; decode outages push it toward 0).
+    coverage: float = 1.0
 
 
 class CellCapacityEstimator:
@@ -105,13 +108,17 @@ class CellCapacityEstimator:
         if window_subframes < 1:
             raise ValueError("window must be positive")
         if not self._samples:
-            return CellEstimate(self.cell_id, 0.0, 0.0, 0.0, 0.0, 1, 0.0)
+            return CellEstimate(self.cell_id, 0.0, 0.0, 0.0, 0.0, 1, 0.0,
+                                coverage=0.0)
         window = list(self._samples)[-window_subframes:]
         n = len(window)
         mean_pa = sum(s.own_prbs for s in window) / n
         mean_idle = sum(s.idle_prbs for s in window) / n
         mean_rate = sum(s.own_rate for s in window) / n
         mean_ber = sum(s.ber for s in window) / n
+        # Decode gaps widen the subframe span the n samples cover.
+        span = max(1, window[-1].subframe - window[0].subframe + 1)
+        coverage = min(1.0, n / span)
         if self.filter_control_users:
             users = self.users.data_user_count(include=self.own_rnti)
         else:
@@ -120,4 +127,5 @@ class CellCapacityEstimator:
         physical = mean_rate * (mean_pa + mean_idle / users)
         fair = mean_rate * self.total_prbs / users
         return CellEstimate(self.cell_id, physical, fair, mean_pa,
-                            mean_idle, users, mean_ber)
+                            mean_idle, users, mean_ber,
+                            coverage=coverage)

@@ -58,6 +58,18 @@ class ControlChannelDecoder:
         if len(self._pending) > self.decode_latency_subframes:
             self.sink(self._pending.pop(0))
 
+    def flush(self) -> None:
+        """Drain the latency buffer at end of stream.
+
+        With ``decode_latency_subframes > 0`` the last records of a run
+        would otherwise sit in ``_pending`` forever; the monitor
+        teardown path calls this so every decoded subframe reaches the
+        sink exactly once.
+        """
+        pending, self._pending = self._pending, []
+        for record in pending:
+            self.sink(record)
+
     @property
     def mean_messages_per_subframe(self) -> float:
         """Average decoded control messages per subframe (§7 figure)."""
@@ -95,6 +107,16 @@ class MessageFusion:
             for subframe in sorted(self._buffers):
                 if subframe < record.subframe - 1:
                     self._emit(subframe)
+
+    def flush(self) -> None:
+        """Emit every buffered (possibly incomplete) subframe, in order.
+
+        Called at end of stream, after the per-cell decoders have
+        flushed their own latency buffers, so a run's final subframes
+        are not silently lost.
+        """
+        for subframe in sorted(self._buffers):
+            self._emit(subframe)
 
     def _emit(self, subframe: int) -> None:
         bucket = self._buffers.pop(subframe)

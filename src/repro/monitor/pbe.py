@@ -24,6 +24,16 @@ from .translation import TranslationTable
 #: is considered deactivated by the network.
 SECONDARY_INACTIVE_TIMEOUT = 300
 
+#: A report older than this many subframes is flagged stale: the
+#: decode stream has been silent longer than any scheduling artefact
+#: can explain, so the estimate no longer tracks the cell.
+STALE_AFTER_SUBFRAMES = 50
+#: Confidence decays to zero over this much report staleness.
+CONFIDENCE_HORIZON_SUBFRAMES = 100
+#: Reports with confidence below this are flagged stale even when
+#: recent (e.g. a heavily gapped averaging window).
+MIN_CONFIDENCE = 0.25
+
 
 @dataclass
 class MonitorReport:
@@ -46,6 +56,18 @@ class MonitorReport:
     #: report — the client restarts its fair-share approach (§4.1).
     carrier_activated: bool
     per_cell: list
+    #: Subframes elapsed since the last fused decoder snapshot (0 when
+    #: the caller supplied no clock, or the stream is current).
+    staleness_subframes: int = 0
+    #: How much to trust this report: window decode coverage decayed by
+    #: staleness.  1.0 = gap-free and current, 0.0 = flying blind.
+    confidence: float = 1.0
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the estimate should no longer drive the sender."""
+        return (self.staleness_subframes > STALE_AFTER_SUBFRAMES
+                or self.confidence < MIN_CONFIDENCE)
 
     @property
     def transport_capacity_bps(self) -> float:
@@ -101,6 +123,10 @@ class PbeMonitor:
         self.last_subframe = -1
         self._activation_pending = False
         self._previously_active: set[int] = {primary_cell}
+        #: Decode-gap telemetry: distinct discontinuities in the fused
+        #: snapshot stream, and total subframes never fused.
+        self.gap_events = 0
+        self.missed_subframes = 0
 
     # ------------------------------------------------------------------
     def decoder_callback(self, cell_id: int):
@@ -122,14 +148,34 @@ class PbeMonitor:
 
     def _on_snapshot(self, records: dict[int, SubframeRecord]) -> None:
         rate, ber = self.own_rate_hint()
+        snapshot_subframe = self.last_subframe
         for cell_id, record in records.items():
             self.estimators[cell_id].update(record, rate, ber)
-            self.last_subframe = max(self.last_subframe, record.subframe)
+            snapshot_subframe = max(snapshot_subframe, record.subframe)
+        if (self.last_subframe >= 0
+                and snapshot_subframe > self.last_subframe + 1):
+            self.gap_events += 1
+            self.missed_subframes += (snapshot_subframe
+                                      - self.last_subframe - 1)
+        self.last_subframe = snapshot_subframe
         active = set(self.active_cells())
         newly_active = active - self._previously_active
         if newly_active:
             self._activation_pending = True
         self._previously_active = active
+
+    def flush(self) -> None:
+        """End-of-stream teardown: drain decoder latency buffers.
+
+        With ``decode_latency_subframes > 0`` each per-cell decoder
+        holds its last records in a pending queue; flushing pushes them
+        through the fusion stage (which then emits its own residual,
+        possibly incomplete, subframes) so the final estimates account
+        for every decoded subframe.
+        """
+        for decoder in self.decoders.values():
+            decoder.flush()
+        self.fusion.flush()
 
     # ------------------------------------------------------------------
     def active_cells(self) -> list[int]:
@@ -151,11 +197,17 @@ class PbeMonitor:
                 cells.append(cell_id)
         return cells
 
-    def report(self, rtprop_subframes: int) -> MonitorReport:
+    def report(self, rtprop_subframes: int,
+               now_subframe: Optional[int] = None) -> MonitorReport:
         """Produce the capacity snapshot for the current subframe.
 
         ``rtprop_subframes`` sets the averaging window (§4.2.1: average
         over the most recent RTprop worth of subframes).
+
+        ``now_subframe`` is the caller's wall clock (the UE knows the
+        subframe count even when its decoder is dark); supplying it
+        lets the report carry a staleness/confidence signal so the
+        client can flag estimates that have outlived the decode stream.
         """
         window = max(1, rtprop_subframes)
         if self.averaging_window_override is not None:
@@ -177,10 +229,18 @@ class PbeMonitor:
                    for e in estimates)
         activated = self._activation_pending
         self._activation_pending = False
+        staleness = 0
+        if now_subframe is not None and self.last_subframe >= 0:
+            staleness = max(0, now_subframe - self.last_subframe)
+        coverage = (sum(e.coverage for e in estimates) / len(estimates)
+                    if estimates else 0.0)
+        decay = max(0.0, 1.0 - staleness / CONFIDENCE_HORIZON_SUBFRAMES)
         return MonitorReport(
             subframe=self.last_subframe,
             physical_capacity=cp, transport_capacity=ct,
             fair_share=cf, transport_fair_share=cf_t,
             users_per_cell={e.cell_id: e.users for e in estimates},
             active_cells=active, carrier_activated=activated,
-            per_cell=estimates)
+            per_cell=estimates,
+            staleness_subframes=staleness,
+            confidence=coverage * decay)

@@ -89,3 +89,36 @@ def test_decoder_latency_validation():
     with pytest.raises(ValueError):
         ControlChannelDecoder(0, lambda r: None,
                               decode_latency_subframes=-1)
+
+
+def test_decoder_flush_drains_pending_records():
+    got = []
+    dec = ControlChannelDecoder(0, got.append, decode_latency_subframes=2)
+    for sf in range(5):
+        dec.on_subframe(_record(sf))
+    assert len(got) == 3  # last two stranded in the latency buffer
+    dec.flush()
+    assert [r.subframe for r in got] == list(range(5))
+    dec.flush()  # idempotent on an empty buffer
+    assert len(got) == 5
+
+
+def test_decoder_flush_noop_without_latency():
+    got = []
+    dec = ControlChannelDecoder(0, got.append)
+    dec.on_subframe(_record(0))
+    dec.flush()
+    assert len(got) == 1
+
+
+def test_fusion_flush_emits_residual_subframes_in_order():
+    got = []
+    fusion = MessageFusion([0, 1], got.append)
+    fusion.on_record(_record(2, cell=0))
+    fusion.on_record(_record(1, cell=0))
+    fusion.on_record(_record(1, cell=1))  # sf 1 complete -> emitted
+    fusion.on_record(_record(3, cell=1))
+    fusion.flush()
+    emitted = [max(r.subframe for r in d.values()) for d in got]
+    assert emitted == [1, 2, 3]
+    assert fusion.emitted == 3

@@ -5,8 +5,10 @@ from hypothesis import given, strategies as st
 
 from repro.core.feedback import (
     PbeFeedback,
+    decode_clamp_count,
     decode_rate_bps,
     encode_interval_us,
+    reset_decode_clamp_count,
 )
 
 
@@ -27,11 +29,19 @@ def test_huge_rate_clamps_to_one_microsecond():
     assert decode_rate_bps(1) == pytest.approx(12e9)
 
 
-def test_decode_validates_range():
-    with pytest.raises(ValueError):
-        decode_rate_bps(0)
-    with pytest.raises(ValueError):
-        decode_rate_bps(2**32)
+def test_decode_saturates_out_of_range():
+    # Corrupted ACK fields clamp to the representable range instead of
+    # raising, and each clamp is counted for telemetry.
+    reset_decode_clamp_count()
+    assert decode_rate_bps(0) == decode_rate_bps(1)
+    assert decode_rate_bps(2**32) == decode_rate_bps(2**32 - 1)
+    assert decode_rate_bps(-17) == decode_rate_bps(1)
+    assert decode_clamp_count() == 3
+    # In-range decodes never touch the counter.
+    decode_rate_bps(1_000)
+    assert decode_clamp_count() == 3
+    reset_decode_clamp_count()
+    assert decode_clamp_count() == 0
 
 
 @given(st.floats(min_value=1e4, max_value=1.2e8))
@@ -54,6 +64,11 @@ def test_feedback_from_rates():
     assert fb.fair_rate_bps == pytest.approx(80e6, rel=0.01)
     assert fb.internet_bottleneck
     assert fb.carrier_activated
+
+
+def test_feedback_stale_bit():
+    assert not PbeFeedback.from_rates(1e6, 1e6, False).stale
+    assert PbeFeedback.from_rates(1e6, 1e6, False, stale=True).stale
 
 
 def test_feedback_is_immutable():

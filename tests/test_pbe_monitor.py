@@ -86,3 +86,55 @@ def test_report_before_any_data():
     report = m.report(40)
     assert report.physical_capacity == 0.0
     assert report.active_cells == [0]
+
+
+def test_monitor_flush_drains_decode_latency_buffers():
+    m = PbeMonitor(OWN, {0: 100}, primary_cell=0,
+                   own_rate_hint=lambda: (1000, 1e-6),
+                   decode_latency_subframes=3)
+    for sf in range(10):
+        _feed(m, sf, {0: [(OWN, 100, 1000)]})
+    assert m.last_subframe < 9  # tail still buffered in the decoder
+    m.flush()
+    assert m.last_subframe == 9
+
+
+def test_report_staleness_and_confidence_decay():
+    m = _monitor(cells={0: 100})
+    for sf in range(40):
+        _feed(m, sf, {0: [(OWN, 100, 1000)]})
+    fresh = m.report(40, now_subframe=40)
+    assert fresh.staleness_subframes == 1
+    assert fresh.confidence > 0.9
+    assert not fresh.is_stale
+    # The decoder goes dark; the UE's subframe clock keeps running.
+    stale = m.report(40, now_subframe=200)
+    assert stale.staleness_subframes == 161
+    assert stale.confidence == 0.0
+    assert stale.is_stale
+    # Without a caller clock the report cannot know it is stale.
+    assert m.report(40).staleness_subframes == 0
+
+
+def test_report_low_window_coverage_flags_stale():
+    m = _monitor(cells={0: 100})
+    _feed(m, 0, {0: [(OWN, 100, 1000)]})
+    # One sample in a 40-subframe window after a long gap: the window
+    # is mostly holes even though the last snapshot is recent.
+    _feed(m, 200, {0: [(OWN, 100, 1000)]})
+    report = m.report(40, now_subframe=201)
+    assert report.confidence < 0.25
+    assert report.is_stale
+
+
+def test_monitor_counts_decode_gaps():
+    m = _monitor(cells={0: 100})
+    for sf in range(10):
+        _feed(m, sf, {0: [(OWN, 100, 1000)]})
+    assert m.gap_events == 0
+    for sf in range(30, 35):  # 20-subframe hole
+        _feed(m, sf, {0: [(OWN, 100, 1000)]})
+    for sf in range(50, 52):  # second hole
+        _feed(m, sf, {0: [(OWN, 100, 1000)]})
+    assert m.gap_events == 2
+    assert m.missed_subframes == 20 + 15

@@ -6,6 +6,7 @@ from repro.baselines.base import AckContext
 from repro.core.feedback import PbeFeedback
 from repro.core.sender import (
     DRAIN,
+    FALLBACK,
     INTERNET,
     RAMP_RTTS,
     STARTUP,
@@ -141,3 +142,99 @@ def test_timeout_restarts():
 def test_validation():
     with pytest.raises(ValueError):
         PbeSender(initial_rate_bps=0)
+
+
+# ----------------------------------------------------------------------
+# Feedback watchdog / graceful degradation
+# ----------------------------------------------------------------------
+def test_feedback_timeout_validation():
+    with pytest.raises(ValueError):
+        PbeSender(feedback_timeout_us=0)
+    with pytest.raises(ValueError):
+        PbeSender(feedback_timeout_us=-1)
+
+
+def test_watchdog_falls_back_when_feedback_stops():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = _warm(cc)
+    assert cc.state == WIRELESS
+    # ACKs keep arriving but carry no capacity report (lost/corrupted).
+    for _ in range(100):
+        cc.on_ack(_ack(t, None))
+        t += 1_000
+    assert cc.state == FALLBACK
+    assert cc.fallback_entries == 1
+    # Rate control is now the embedded BBR's.
+    assert cc.pacing_rate_bps(t) == cc.bbr.pacing_rate_bps(t)
+    assert cc.cwnd_bits(t) == cc.bbr.cwnd_bits(t)
+
+
+def test_watchdog_trips_from_rate_query_without_acks():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = _warm(cc)
+    # Total ACK silence: only the pacing loop keeps running.
+    cc.pacing_rate_bps(t + 200_000)
+    assert cc.state == FALLBACK
+
+
+def test_stale_feedback_does_not_steer_and_trips_watchdog():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = _warm(cc, target=50e6)
+    stale = PbeFeedback.from_rates(5e6, 5e6, False, stale=True)
+    for _ in range(100):
+        cc.on_ack(_ack(t, stale))
+        t += 1_000
+    # The stale report's rates never reached the controller.
+    assert cc.target_rate_bps == pytest.approx(50e6, rel=0.01)
+    assert cc.stale_feedback_acks == 100
+    assert cc.state == FALLBACK
+
+
+def test_fresh_feedback_resyncs_through_startup_ramp():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = _warm(cc, target=50e6, fair=50e6)
+    for _ in range(100):
+        cc.on_ack(_ack(t, None))
+        t += 1_000
+    assert cc.state == FALLBACK
+    resume = t
+    cc.on_ack(_ack(t, _fb(target=50e6, fair=50e6)))
+    # Re-entry reuses the §4.1 ramp from the fallback operating point.
+    assert cc.state == STARTUP
+    rate_now = cc.pacing_rate_bps(t)
+    assert rate_now >= cc.initial_rate_bps
+    t = _warm(cc, target=50e6, fair=50e6, start=t + 1_000)
+    assert cc.state == WIRELESS
+    assert cc.fallback_entries == 1
+    durations = cc.state_durations_us(t)
+    assert durations[FALLBACK] == pytest.approx(resume - 249_000,
+                                                abs=2_000)
+
+
+def test_never_reporting_client_still_falls_back():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = 0
+    for _ in range(100):
+        cc.on_ack(_ack(t, None))
+        t += 1_000
+    assert cc.state == FALLBACK
+    assert cc.fallback_entries == 1
+
+
+def test_watchdog_auto_timeout_has_floor():
+    cc = PbeSender()
+    t = _warm(cc)
+    # Silence shorter than the 100 ms floor never trips the watchdog.
+    cc.pacing_rate_bps(t + 90_000)
+    assert cc.state == WIRELESS
+
+
+def test_state_durations_cover_whole_timeline():
+    cc = PbeSender(feedback_timeout_us=50_000)
+    t = _warm(cc)
+    for _ in range(100):
+        cc.on_ack(_ack(t, None))
+        t += 1_000
+    durations = cc.state_durations_us(t)
+    assert sum(durations.values()) == t
+    assert durations[FALLBACK] > 0
