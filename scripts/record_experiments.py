@@ -36,7 +36,19 @@ def parse_args(argv=None):
                              "(default: one per CPU, capped at 8)")
     parser.add_argument("--cache-dir", default=None,
                         help="content-addressed result cache directory "
-                             "(resume/replay recording passes cheaply)")
+                             "(resume/replay recording passes cheaply; "
+                             "a sweep journal is kept beside it, so an "
+                             "interrupted pass resumes with zero "
+                             "recomputation)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job deadline in seconds for the long "
+                             "sweeps (enforced concurrently)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="crash/timeout re-submissions with "
+                             "jittered backoff (default 1)")
+    parser.add_argument("--failure-budget", type=float, default=None,
+                        help="abort a sweep once more than this "
+                             "percentage of its jobs has failed")
     return parser.parse_args(argv)
 
 
@@ -44,12 +56,21 @@ def main(argv=None) -> None:
     args = parse_args(argv)
     execution = {"jobs": args.jobs, "cache_dir": args.cache_dir,
                  "progress": StderrReporter()}
+    # The long sweeps additionally run supervised: per-job deadlines,
+    # retry backoff and a failure budget (failed configurations are
+    # isolated and reported instead of aborting the recording pass).
+    supervised = dict(
+        execution, timeout_s=args.timeout, retries=args.retries,
+        failure_budget=(args.failure_budget / 100.0
+                        if args.failure_budget is not None else None))
     t0 = time.time()
 
     section("Stationary sweep (Table 1 / Figure 12 / Figure 15)")
     sweep = exp.run_stationary_sweep(
         schemes=("pbe", "bbr", "cubic", "verus", "copa"),
-        n_busy=8, n_idle=5, duration_s=10.0, **execution)
+        n_busy=8, n_idle=5, duration_s=10.0, **supervised)
+    for failure in sweep.failures:
+        print(f"FAILED {failure.summary()}", flush=True)
     print(exp.table1_from_sweep(sweep).format())
     print()
     print(exp.fig12_from_sweep(sweep).format())

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Interrupted-sweep smoke test: SIGINT a sweep, then resume it.
+
+Spawns ``python -m repro sweep`` with a result cache, delivers SIGINT
+once at least one payload has persisted, and checks the contract the
+supervision layer promises:
+
+* the interrupted process exits 130 after a clean drain;
+* the journal beside the cache is valid JSONL ending in an
+  ``interrupted`` marker, and every persisted entry passes
+  ``repro cache verify``;
+* a ``--resume`` run recomputes only the unfinished jobs (finished
+  fingerprints are cache hits) and its final payloads are byte-
+  identical to an uninterrupted run of the same sweep.
+
+CI runs this (CI-sized) on every push; run it locally with no
+arguments, or ``--duration/--jobs`` to scale it up.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def sweep_cmd(cache_dir: str, args, extra=()) -> list:
+    return [sys.executable, "-m", "repro", "sweep",
+            "--schemes", "pbe,bbr", "--busy", "2", "--idle", "2",
+            "--duration", str(args.duration), "--jobs", str(args.jobs),
+            "--cache-dir", cache_dir, *extra]
+
+
+def env() -> dict:
+    out = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    out["PYTHONPATH"] = (src + os.pathsep + out["PYTHONPATH"]
+                         if out.get("PYTHONPATH") else src)
+    return out
+
+
+def store_entries(cache_dir: Path) -> list:
+    return sorted(p for p in cache_dir.glob("??/*.json"))
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="SIGINT a sweep mid-run, then resume it")
+    parser.add_argument("--duration", type=float, default=1.0)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall smoke deadline in seconds")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        cache = Path(workdir) / "cache"
+
+        # --- interrupted run -----------------------------------------
+        proc = subprocess.Popen(
+            sweep_cmd(str(cache), args), env=env(), cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True)
+        deadline = time.time() + args.timeout / 2
+        while (time.time() < deadline and proc.poll() is None
+               and len(store_entries(cache)) < 1):
+            time.sleep(0.05)
+        if proc.poll() is not None:
+            fail("sweep finished before SIGINT could be delivered; "
+                 "increase --duration")
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=args.timeout / 2)
+        if proc.returncode != 130:
+            fail(f"interrupted sweep exited {proc.returncode}, "
+                 f"expected 130\n{stderr}")
+
+        journal = cache / "journal.jsonl"
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        if records[-1] != {"kind": "end", "status": "interrupted"}:
+            fail(f"journal does not end interrupted: {records[-1]}")
+        done = {r["fingerprint"] for r in records
+                if r.get("kind") == "job" and r.get("status") == "done"}
+        persisted = store_entries(cache)
+        if {p.stem for p in persisted} != done:
+            fail("journal done-set does not match persisted entries")
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "cache", "verify",
+             "--cache-dir", str(cache), "--no-upgrade"],
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True)
+        if verify.returncode != 0:
+            fail(f"cache verify failed after interrupt:\n"
+                 f"{verify.stdout}{verify.stderr}")
+        snapshot = {p.stem: p.read_bytes() for p in persisted}
+        print(f"interrupt ok: {len(done)} jobs drained+persisted, "
+              f"journal and store intact", flush=True)
+
+        # --- resumed run ---------------------------------------------
+        resumed = subprocess.run(
+            sweep_cmd(str(cache), args,
+                      extra=("--resume", "--save",
+                             str(Path(workdir) / "resumed.json"))),
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if resumed.returncode != 0:
+            fail(f"resume exited {resumed.returncode}\n"
+                 f"{resumed.stderr}")
+        executed = sum(" executed " in line
+                       for line in resumed.stderr.splitlines())
+        cached = sum(" cached " in line and "[repro.exec]" in line
+                     for line in resumed.stderr.splitlines())
+        if executed != 8 - len(done) or cached != len(done):
+            fail(f"resume recomputed finished work: {executed} "
+                 f"executed / {cached} cached with {len(done)} done")
+        for fp, blob in snapshot.items():
+            path = cache / fp[:2] / f"{fp}.json"
+            if path.read_bytes() != blob:
+                fail(f"resume rewrote finished entry {fp}")
+        print(f"resume ok: {executed} executed, {cached} cached, "
+              f"finished entries untouched", flush=True)
+
+        # --- equivalence with an uninterrupted run -------------------
+        fresh = subprocess.run(
+            sweep_cmd(str(Path(workdir) / "fresh-cache"), args,
+                      extra=("--save",
+                             str(Path(workdir) / "fresh.json"))),
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if fresh.returncode != 0:
+            fail(f"fresh sweep exited {fresh.returncode}\n"
+                 f"{fresh.stderr}")
+        resumed_bytes = (Path(workdir) / "resumed.json").read_bytes()
+        fresh_bytes = (Path(workdir) / "fresh.json").read_bytes()
+        if resumed_bytes != fresh_bytes:
+            fail("resumed sweep is not byte-identical to an "
+                 "uninterrupted run")
+        print("equivalence ok: resumed == uninterrupted "
+              "(byte-identical)", flush=True)
+
+    print("sigint smoke PASSED", flush=True)
+
+
+if __name__ == "__main__":
+    main()

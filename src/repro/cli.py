@@ -9,11 +9,21 @@ Commands
 ``sweep``      the §6.3.1 stationary sweep, parallel and cacheable
 ``resilience`` fault-injection sweep: DCI miss-rate × decoder-outage
                grid with graceful-degradation telemetry
+``cache``      audit the result cache: ``verify`` (scan, checksum,
+               quarantine) or ``gc`` (reclaim quarantined/temp space)
 ``list``       list schemes and experiments
 
 Multi-run commands (``experiment`` sweeps, ``sweep``) accept ``--jobs
 N`` to fan simulations out over worker processes and ``--cache-dir``
-to memoize completed runs on disk (see :mod:`repro.exec`).
+to memoize completed runs on disk (see :mod:`repro.exec`).  The long
+sweeps (``sweep``, ``resilience``) are additionally *supervised*:
+``--timeout`` enforces a concurrent per-job deadline, ``--retries``
+re-submits crashed/timed-out jobs with jittered backoff, failures are
+isolated as structured records instead of aborting (``--strict`` to
+abort on the first failure, ``--failure-budget PCT`` to abort once
+more than PCT%% of jobs fail), Ctrl-C drains in-flight work and
+persists everything finished, and ``--resume`` replays the journal
+next to the cache to skip finished work and re-attempt only failures.
 
 Examples
 --------
@@ -26,6 +36,8 @@ Examples
     python -m repro resilience --miss 0,0.05,0.2 --outage-ms 0,500 \\
         --jobs 4
     python -m repro resilience --smoke
+    python -m repro sweep --jobs 8 --cache-dir .repro-cache --resume
+    python -m repro cache verify --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -99,6 +111,45 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
             "progress": progress}
 
 
+def _supervised_runner(args: argparse.Namespace):
+    """Build the supervised runner for the long sweep commands."""
+    from .exec import make_runner
+    budget = (args.failure_budget / 100.0
+              if args.failure_budget is not None else None)
+    kwargs = _exec_kwargs(args)
+    return make_runner(retries=args.retries, timeout_s=args.timeout,
+                       strict=args.strict, failure_budget=budget,
+                       **kwargs)
+
+
+def _report_resume(args: argparse.Namespace) -> None:
+    """``--resume``: replay the journal and report what it skips."""
+    from .exec import JOURNAL_NAME, SweepJournal
+    if not args.cache_dir:
+        raise SystemExit("--resume requires --cache-dir (the journal "
+                         "lives beside the result cache)")
+    from pathlib import Path
+    journal = SweepJournal(Path(args.cache_dir) / JOURNAL_NAME)
+    state = journal.replay()
+    print(f"[repro] resume: journal {journal.path} shows "
+          f"{state.summary()}; finished jobs load from cache, "
+          f"failures re-attempt", file=sys.stderr)
+    for failure in state.failed.values():
+        print(f"[repro] resume: re-attempting {failure.summary()}",
+              file=sys.stderr)
+
+
+def _finish_supervised(runner, failures) -> int:
+    """Surface degraded-run telemetry; exit non-zero on failures."""
+    stats = runner.stats
+    if (runner.progress is not None or failures or stats.failed
+            or stats.quarantined):
+        print(f"[repro] {stats.format()}", file=sys.stderr)
+    for failure in failures:
+        print(f"[repro] FAILED {failure.summary()}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment <name>``: run a paper table/figure driver."""
     from .harness import experiments as exp
@@ -153,15 +204,26 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep``: the stationary sweep, parallel and cacheable."""
+    """``repro sweep``: the stationary sweep, supervised end to end."""
+    from .exec import FailureBudgetExceeded, SweepInterrupted
     from .harness import experiments as exp
     from .harness.serialize import write_json_atomic
     schemes = tuple(s.strip() for s in args.schemes.split(",")
                     if s.strip())
-    sweep = exp.run_stationary_sweep(
-        schemes=schemes, n_busy=args.busy, n_idle=args.idle,
-        duration_s=args.duration, base_seed=args.seed,
-        **_exec_kwargs(args))
+    if args.resume:
+        _report_resume(args)
+    runner = _supervised_runner(args)
+    try:
+        sweep = exp.run_stationary_sweep(
+            schemes=schemes, n_busy=args.busy, n_idle=args.idle,
+            duration_s=args.duration, base_seed=args.seed,
+            runner=runner)
+    except SweepInterrupted as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 130
+    except FailureBudgetExceeded as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 3
     if args.view == "table1":
         print(exp.table1_from_sweep(sweep).format())
     elif args.view == "fig12":
@@ -193,7 +255,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                           args.save)
         print(f"saved {len(sweep.entries)} entries to {args.save}",
               file=sys.stderr)
-    return 0
+    return _finish_supervised(runner, sweep.failures)
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
@@ -212,11 +274,42 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         miss_rates = tuple(float(m) for m in args.miss.split(","))
         outages_ms = tuple(int(o) for o in args.outage_ms.split(","))
         duration = args.duration
-    result = exp.run_resilience(
-        schemes=schemes, miss_rates=miss_rates, outages_ms=outages_ms,
-        duration_s=duration, base_seed=args.seed,
-        fault_seed=args.fault_seed, **_exec_kwargs(args))
+    from .exec import FailureBudgetExceeded, SweepInterrupted
+    if args.resume:
+        _report_resume(args)
+    runner = _supervised_runner(args)
+    try:
+        result = exp.run_resilience(
+            schemes=schemes, miss_rates=miss_rates,
+            outages_ms=outages_ms, duration_s=duration,
+            base_seed=args.seed, fault_seed=args.fault_seed,
+            runner=runner)
+    except SweepInterrupted as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 130
+    except FailureBudgetExceeded as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 3
     print(result.format())
+    return _finish_supervised(runner, result.failures)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache verify|gc``: audit/repair the result store."""
+    from .exec import ResultStore
+    store = ResultStore(args.cache_dir)
+    if args.action == "verify":
+        report = store.verify(upgrade=not args.no_upgrade)
+        print(f"checked {report['checked']} entries: {report['ok']} ok, "
+              f"{report['upgraded']} upgraded to checksummed envelope, "
+              f"{report['quarantined']} quarantined, "
+              f"{report['foreign']} foreign files skipped")
+        print(f"store: {store.stats().format()}")
+        return 1 if report["quarantined"] else 0
+    out = store.gc()
+    print(f"gc: removed {out['removed']} quarantined/temp files, "
+          f"reclaimed {out['bytes']} bytes")
+    print(f"store: {store.stats().format()}")
     return 0
 
 
@@ -234,6 +327,29 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="content-addressed result cache directory "
                              "(skips runs whose inputs are unchanged)")
+
+
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    """Failure-isolation/deadline/resume knobs for the long sweeps."""
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-job deadline in seconds, enforced "
+                             "concurrently across in-flight jobs")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-submissions after a worker crash or "
+                             "timeout, with jittered exponential "
+                             "backoff (default 1)")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first failed job instead of "
+                             "isolating it as a structured failure")
+    parser.add_argument("--failure-budget", type=float, default=None,
+                        metavar="PCT",
+                        help="abort early once more than PCT%% of jobs "
+                             "have failed")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the journal beside --cache-dir: "
+                             "report finished work (loaded from cache) "
+                             "and re-attempt only failures")
 
 
 def _add_cell_options(parser: argparse.ArgumentParser) -> None:
@@ -297,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--save", default=None, metavar="FILE",
                          help="also write per-run JSON entries here")
     _add_exec_options(p_sweep)
+    _add_supervision_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_res = sub.add_parser(
@@ -317,7 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--smoke", action="store_true",
                        help="CI-sized grid (one scheme, short flows)")
     _add_exec_options(p_res)
+    _add_supervision_options(p_res)
     p_res.set_defaults(func=cmd_resilience)
+
+    p_cache = sub.add_parser(
+        "cache", help="audit the result cache (verify / gc)")
+    p_cache.add_argument("action", choices=("verify", "gc"),
+                         help="verify: scan+checksum every entry, "
+                              "quarantine invalid ones; gc: reclaim "
+                              "quarantined/temp space")
+    p_cache.add_argument("--cache-dir", required=True,
+                         help="result cache directory to audit")
+    p_cache.add_argument("--no-upgrade", action="store_true",
+                         help="verify only; do not rewrite valid "
+                              "legacy entries into the checksummed "
+                              "envelope")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_list = sub.add_parser("list", help="list schemes and experiments")
     p_list.set_defaults(func=cmd_list)

@@ -7,16 +7,28 @@ package is the backbone that exploits both properties:
 * :class:`Job` — one (scenario, scheme, overrides) simulation with a
   deterministic content fingerprint;
 * :class:`ResultStore` — a disk cache of completed payloads keyed by
-  fingerprint, written atomically so sweeps survive interruption;
+  fingerprint, written atomically inside a checksummed envelope;
+  invalid entries are quarantined (never silently deleted) and
+  ``python -m repro cache verify|gc`` audits and repairs the store;
 * :class:`ParallelRunner` — fans jobs out over a process pool (with
-  inline fallback, per-job timeout guard and crash retries), memoizes
-  through the store, and reports progress/telemetry via a callback.
+  inline fallback, concurrent per-job deadlines and crash retries with
+  jittered backoff), memoizes through the store, journals every
+  outcome, isolates per-job failures as :class:`JobFailure` records,
+  and drains cleanly on SIGINT/SIGTERM (:class:`SweepInterrupted`);
+* :class:`SweepJournal` — the append-only JSONL manifest that makes
+  interrupted sweeps resumable with zero recomputation.
 
 The stationary sweep, the figure drivers, the benchmark suite and the
 ``python -m repro sweep`` command all submit their runs through here.
 """
 
 from .job import FINGERPRINT_VERSION, Job, canonical_json, scenario_to_dict
+from .journal import (
+    JOURNAL_NAME,
+    JournalState,
+    SweepJournal,
+    sweep_fingerprint,
+)
 from .runner import (
     JobEvent,
     JobExecutionError,
@@ -25,12 +37,23 @@ from .runner import (
     StderrReporter,
     make_runner,
 )
-from .store import ResultStore
+from .store import ResultStore, StoreStats, payload_checksum
+from .supervisor import (
+    BackoffPolicy,
+    FailureBudgetExceeded,
+    JobFailure,
+    SignalDrain,
+    SweepInterrupted,
+    is_failure,
+)
 from .worker import execute_job, initialize_worker
 
 __all__ = [
-    "FINGERPRINT_VERSION", "Job", "JobEvent", "JobExecutionError",
-    "ParallelRunner", "ResultStore", "RunnerStats", "StderrReporter",
-    "canonical_json", "execute_job", "initialize_worker", "make_runner",
-    "scenario_to_dict",
+    "BackoffPolicy", "FINGERPRINT_VERSION", "FailureBudgetExceeded",
+    "JOURNAL_NAME", "Job", "JobEvent", "JobExecutionError",
+    "JobFailure", "JournalState", "ParallelRunner", "ResultStore",
+    "RunnerStats", "SignalDrain", "StderrReporter", "StoreStats",
+    "SweepInterrupted", "SweepJournal", "canonical_json",
+    "execute_job", "initialize_worker", "is_failure", "make_runner",
+    "payload_checksum", "scenario_to_dict", "sweep_fingerprint",
 ]

@@ -1,0 +1,147 @@
+"""Append-only sweep journal: what ran, what failed, what remains.
+
+The :class:`repro.exec.ResultStore` holds the *payloads* of finished
+jobs; the journal holds the *history* of the sweep that produced them:
+one JSONL line per completed or failed job, flushed (and fsynced) as
+it happens, plus a header identifying the sweep by the fingerprint of
+its job set and an end marker recording how the run terminated
+(``complete`` / ``interrupted`` / ``aborted``).
+
+Because every line is self-contained JSON and writes are
+append + flush + fsync, a SIGKILL can at worst truncate the final
+line — :meth:`SweepJournal.replay` tolerates a trailing partial line
+and rebuilds the per-fingerprint status map (last status wins), which
+is what ``python -m repro sweep --resume`` uses to report finished
+work, skip it (via the store) and re-attempt only failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .supervisor import JobFailure
+
+#: Bump when the journal line format changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: Default journal filename, created beside the result cache.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def sweep_fingerprint(fingerprints: Sequence[str]) -> str:
+    """Content hash identifying a sweep by its (unordered) job set."""
+    encoded = json.dumps(sorted(set(fingerprints)),
+                         separators=(",", ":")).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+@dataclass
+class JournalState:
+    """Replay of a journal: per-fingerprint terminal status."""
+
+    #: Fingerprint of the most recent sweep header (None = no header).
+    sweep: Optional[str] = None
+    #: Job count announced by that header.
+    total: int = 0
+    #: Fingerprints whose last status is "done".
+    done: set = field(default_factory=set)
+    #: fingerprint -> :class:`JobFailure` for last-status-failed jobs.
+    failed: dict = field(default_factory=dict)
+    #: How the most recent run ended, if an end marker was written.
+    ended: Optional[str] = None
+    #: Lines that did not parse (truncated tail, foreign debris).
+    malformed: int = 0
+
+    def summary(self) -> str:
+        return (f"{len(self.done)} done, {len(self.failed)} failed "
+                f"of {self.total or '?'} jobs"
+                + (f"; last run {self.ended}" if self.ended else ""))
+
+
+class SweepJournal:
+    """Append-only JSONL manifest of one (or more) sweep runs."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def begin(self, sweep: str, total: int) -> None:
+        self._append({"kind": "sweep", "version": JOURNAL_VERSION,
+                      "fingerprint": sweep, "total": total})
+
+    def record_done(self, fingerprint: str, label: str,
+                    wall_s: float) -> None:
+        self._append({"kind": "job", "status": "done",
+                      "fingerprint": fingerprint, "label": label,
+                      "wall_s": round(wall_s, 6)})
+
+    def record_failure(self, failure: JobFailure) -> None:
+        self._append({"kind": "job", "status": "failed",
+                      "fingerprint": failure.fingerprint,
+                      "label": failure.label,
+                      "failure": failure.to_dict()})
+
+    def end(self, status: str) -> None:
+        self._append({"kind": "end", "status": status})
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with open(self.path, "a") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalState:
+        """Rebuild per-fingerprint status from the journal, tolerantly.
+
+        Unparseable lines (a truncated tail after SIGKILL) are counted,
+        not fatal.  Statuses aggregate across runs appended to the same
+        file — fingerprints are content-addressed, so a job finished by
+        any earlier run stays finished.
+        """
+        state = JournalState()
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return state
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                kind = record["kind"]
+            except (ValueError, TypeError, KeyError):
+                state.malformed += 1
+                continue
+            if kind == "sweep":
+                state.sweep = record.get("fingerprint")
+                state.total = record.get("total", 0)
+                state.ended = None
+            elif kind == "job":
+                fp = record.get("fingerprint")
+                if not fp:
+                    state.malformed += 1
+                elif record.get("status") == "done":
+                    state.done.add(fp)
+                    state.failed.pop(fp, None)
+                else:
+                    try:
+                        failure = JobFailure.from_dict(
+                            record.get("failure") or {})
+                    except (KeyError, TypeError):
+                        state.malformed += 1
+                        continue
+                    state.failed[fp] = failure
+                    state.done.discard(fp)
+            elif kind == "end":
+                state.ended = record.get("status")
+            else:
+                state.malformed += 1
+        return state

@@ -1,4 +1,4 @@
-"""Parallel, memoized execution of independent simulation jobs.
+"""Parallel, memoized, supervised execution of independent jobs.
 
 Every job is an independent, deterministic, seed-keyed simulation —
 embarrassingly parallel — so the runner fans pending jobs out over a
@@ -8,33 +8,54 @@ The execution plan for one :meth:`ParallelRunner.run` call:
 1. fingerprint every job; duplicates collapse onto one execution;
 2. satisfy what the :class:`ResultStore` already holds (cache hits);
 3. execute the remainder — inline when ``jobs=1`` (or the platform has
-   no working process pool), otherwise across worker processes with a
-   per-job timeout guard and retry-on-worker-crash;
-4. persist each payload as it completes, so an interrupted sweep
-   resumes from where it stopped.
+   no working process pool), otherwise across worker processes with
+   concurrent per-job deadlines and retry-on-worker-crash;
+4. persist each payload (and journal each outcome) the moment it
+   completes, so an interrupted sweep resumes from where it stopped.
+
+Supervision (see :mod:`repro.exec.supervisor`): a job whose own code
+raises becomes a structured :class:`JobFailure` in its result slot
+instead of aborting the sweep (``strict=True`` restores
+abort-on-first-failure), a failure-budget circuit breaker aborts early
+when too large a fraction of jobs fail, retries back off exponentially
+with deterministic jitter, and SIGINT/SIGTERM drain in-flight work and
+flush the journal before raising :class:`SweepInterrupted` (a second
+signal hard-aborts).
 
 Results come back in submission order, and ``runner.stats`` describes
-the last run (executed / cached / deduplicated counts, per-job wall
-times, cache hit rate).
+the last run (executed / cached / failed / quarantined counts, per-job
+wall times, cache hit rate).
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from .job import Job
+from .journal import JOURNAL_NAME, SweepJournal, sweep_fingerprint
 from .store import ResultStore
+from .supervisor import (
+    BackoffPolicy,
+    FailureBudgetExceeded,
+    JobFailure,
+    SignalDrain,
+    SweepInterrupted,
+)
 from .worker import execute_job, initialize_worker
 
 #: Exceptions that mean "this worker process died", not "the job's own
 #: code raised" — only these (and timeouts) are retried.
 _CRASH_ERRORS = (BrokenProcessPool, OSError)
+
+#: Upper bound on one ``wait()`` nap, so signal drains stay responsive
+#: even when no deadline is near.
+_WAIT_SLICE_S = 0.5
 
 
 class JobExecutionError(RuntimeError):
@@ -51,7 +72,7 @@ class JobExecutionError(RuntimeError):
 class JobEvent:
     """One progress notification passed to the runner's callback."""
 
-    #: "cached", "executed", "retry" or "fallback".
+    #: "cached", "executed", "failed", "retry" or "fallback".
     kind: str
     done: int
     total: int
@@ -70,6 +91,12 @@ class RunnerStats:
     cache_hits: int = 0
     deduplicated: int = 0
     retries: int = 0
+    #: Jobs that ended as a :class:`JobFailure` (non-strict mode).
+    failed: int = 0
+    #: Cache entries quarantined as invalid during this run.
+    quarantined: int = 0
+    #: Total seconds slept in retry backoff.
+    backoff_s: float = 0.0
     job_wall_s: list = field(default_factory=list)
     wall_s: float = 0.0
 
@@ -82,7 +109,10 @@ class RunnerStats:
                 f"{self.cache_hits} cached "
                 f"({100 * self.cache_hit_rate:.0f}% hit rate), "
                 f"{self.deduplicated} deduplicated, "
-                f"{self.retries} retries, {self.wall_s:.1f}s wall")
+                f"{self.retries} retries, {self.failed} failed, "
+                f"{self.quarantined} quarantined, "
+                f"{self.backoff_s:.1f}s backoff, "
+                f"{self.wall_s:.1f}s wall")
 
 
 class StderrReporter:
@@ -99,8 +129,9 @@ class StderrReporter:
         label = event.job.label if event.job is not None else "?"
         wall = (f" {event.wall_s:.1f}s" if event.wall_s is not None
                 else "")
+        detail = f" [{event.detail}]" if event.detail else ""
         print(f"[repro.exec] {event.done}/{event.total} {event.kind} "
-              f"{label}{wall} ({event.cache_hits} cached)",
+              f"{label}{wall}{detail} ({event.cache_hits} cached)",
               file=self.stream, flush=True)
 
 
@@ -109,19 +140,37 @@ class ParallelRunner:
 
     ``jobs=1`` executes inline (no pool, no pickling) — the worker path
     calls the identical :func:`execute_job`, so both modes return
-    byte-identical payloads.  ``timeout_s`` bounds how long the runner
-    waits on any single in-flight job; ``retries`` is how many times a
-    job is re-submitted after a worker crash or timeout before a
-    worker-crashed job falls back to one final inline attempt (a timed-
-    out job raises :class:`JobExecutionError` instead — re-running a
-    hang inline would just hang the parent).
+    byte-identical payloads.  ``timeout_s`` is a per-job deadline
+    measured from submission and enforced *concurrently* across all
+    in-flight jobs (stall detection for k slow jobs is O(timeout), not
+    O(k × timeout)); ``retries`` is how many times a job is
+    re-submitted after a worker crash or timeout (with exponential
+    backoff and deterministic jitter) before the failure becomes
+    terminal.
+
+    Terminal failures: with ``strict=False`` (default) a failed job —
+    its own code raised, its deadline expired, or its worker crashed
+    repeatedly — leaves a structured :class:`JobFailure` in its result
+    slot and the sweep continues; ``strict=True`` restores the
+    abort-on-first-failure behaviour (the job's own exception, or a
+    :class:`JobExecutionError` for crashes/timeouts).
+    ``failure_budget`` (a fraction) aborts the whole sweep with
+    :class:`FailureBudgetExceeded` once more than that share of jobs
+    has failed.  A :class:`SweepJournal` records every outcome as it
+    happens; SIGINT/SIGTERM drain in-flight work, flush journal and
+    store, and raise :class:`SweepInterrupted`.
     """
 
     def __init__(self, jobs: int = 1,
                  store: Optional[ResultStore] = None,
                  retries: int = 1,
                  timeout_s: Optional[float] = None,
-                 progress: Optional[Callable[[JobEvent], None]] = None
+                 progress: Optional[Callable[[JobEvent], None]] = None,
+                 strict: bool = False,
+                 failure_budget: Optional[float] = None,
+                 backoff: Optional[BackoffPolicy] = None,
+                 journal: Optional[SweepJournal] = None,
+                 handle_signals: bool = True,
                  ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -129,21 +178,35 @@ class ParallelRunner:
             raise ValueError("retries must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout must be positive")
+        if failure_budget is not None and not 0 <= failure_budget <= 1:
+            raise ValueError("failure_budget is a fraction in [0, 1]")
         self.jobs = jobs
         self.store = store
         self.retries = retries
         self.timeout_s = timeout_s
         self.progress = progress
+        self.strict = strict
+        self.failure_budget = failure_budget
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.journal = journal
+        self.handle_signals = handle_signals
         self.stats = RunnerStats()
         self._done = 0
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> list:
-        """Execute (or recall) every job; payloads in submission order."""
+        """Execute (or recall) every job; payloads in submission order.
+
+        Non-strict mode: a slot may hold a :class:`JobFailure` instead
+        of a payload dictionary (filter with
+        :func:`repro.exec.is_failure`).
+        """
         jobs = list(jobs)
         self.stats = RunnerStats(total=len(jobs))
         self._done = 0
         t0 = time.monotonic()
+        quarantined_before = (self.store.quarantine_events
+                              if self.store is not None else 0)
 
         fingerprints = [job.fingerprint() for job in jobs]
         results: list = [None] * len(jobs)
@@ -165,18 +228,50 @@ class ParallelRunner:
             else:
                 pending.append((i, job))
 
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                self._run_inline(pending, fingerprints, results)
-            else:
-                self._run_pool(pending, fingerprints, results)
+        if self.journal is not None and pending:
+            self.journal.begin(sweep_fingerprint(fingerprints),
+                               total=len(jobs))
+
+        drain = SignalDrain(enabled=self.handle_signals)
+        try:
+            with drain:
+                if pending:
+                    if self.jobs == 1 or len(pending) == 1:
+                        self._run_inline(pending, fingerprints, results,
+                                         drain)
+                    else:
+                        self._run_pool(pending, fingerprints, results,
+                                       drain)
+        except FailureBudgetExceeded:
+            self._finish(t0, quarantined_before)
+            self._journal_end("aborted")
+            raise
+        if drain.stop_requested:
+            self._finish(t0, quarantined_before)
+            self._journal_end("interrupted")
+            raise SweepInterrupted(
+                done=self._done, total=self.stats.total,
+                journal_path=(self.journal.path
+                              if self.journal is not None else None))
 
         for i, source in duplicates:
             results[i] = results[source]
             self._done += 1
 
-        self.stats.wall_s = time.monotonic() - t0
+        self._finish(t0, quarantined_before)
+        if pending:
+            self._journal_end("complete")
         return results
+
+    def _finish(self, t0: float, quarantined_before: int) -> None:
+        self.stats.wall_s = time.monotonic() - t0
+        if self.store is not None:
+            self.stats.quarantined = (self.store.quarantine_events
+                                      - quarantined_before)
+
+    def _journal_end(self, status: str) -> None:
+        if self.journal is not None:
+            self.journal.end(status)
 
     # ------------------------------------------------------------------
     def _emit(self, kind: str, job: Optional[Job] = None,
@@ -193,42 +288,81 @@ class ParallelRunner:
         results[index] = payload
         if self.store is not None:
             self.store.put(fingerprint, payload)
+        if self.journal is not None:
+            self.journal.record_done(fingerprint, job.label, wall_s)
         self.stats.executed += 1
         self.stats.job_wall_s.append(wall_s)
         self._done += 1
         self._emit("executed", job=job, wall_s=wall_s)
 
+    def _fail(self, index: int, job: Job, fingerprint: str, kind: str,
+              exc: BaseException, attempts: int, wall_s: float,
+              results: list) -> None:
+        """Record one terminal failure (non-strict path).
+
+        Failed jobs are journaled but never stored, so a re-run (or
+        ``--resume``) re-attempts exactly the failures while finished
+        fingerprints stay cache hits.
+        """
+        failure = JobFailure.from_exception(
+            job.label, fingerprint, kind, exc, attempts=attempts,
+            wall_s=wall_s)
+        results[index] = failure
+        if self.journal is not None:
+            self.journal.record_failure(failure)
+        self.stats.failed += 1
+        self._done += 1
+        self._emit("failed", job=job, wall_s=wall_s,
+                   detail=f"{failure.kind}: {failure.exc_type}: "
+                          f"{failure.message}")
+        if (self.failure_budget is not None and self.stats.total
+                and self.stats.failed / self.stats.total
+                > self.failure_budget):
+            raise FailureBudgetExceeded(
+                self.stats.failed, self.stats.total,
+                self.failure_budget)
+
     def _run_inline(self, pending: list, fingerprints: list,
-                    results: list) -> None:
+                    results: list,
+                    drain: Optional[SignalDrain] = None) -> None:
         for index, job in pending:
+            if drain is not None and drain.stop_requested:
+                return
             started = time.monotonic()
-            payload = execute_job(job)
-            self._complete(index, job, fingerprints[index], payload,
-                           time.monotonic() - started, results)
+            try:
+                payload = execute_job(job)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self._fail(index, job, fingerprints[index], "job-error",
+                           exc, attempts=1,
+                           wall_s=time.monotonic() - started,
+                           results=results)
+            else:
+                self._complete(index, job, fingerprints[index], payload,
+                               time.monotonic() - started, results)
 
     # ------------------------------------------------------------------
     def _run_pool(self, pending: list, fingerprints: list,
-                  results: list) -> None:
+                  results: list, drain: SignalDrain) -> None:
         attempts: dict[int, int] = {}
         queue = list(pending)
-        while queue:
+        while queue and not drain.stop_requested:
             executor = self._make_executor(len(queue))
             if executor is None:
                 self._emit("fallback",
                            detail="process pool unavailable; "
                                   "running jobs inline")
-                self._run_inline(queue, fingerprints, results)
+                self._run_inline(queue, fingerprints, results, drain)
                 return
             retry_queue: list[tuple[int, Job]] = []
             hung_worker = False
             try:
                 try:
-                    submitted = []
+                    running: dict = {}
                     for index, job in queue:
-                        submitted.append(
-                            (index, job,
-                             executor.submit(execute_job, job),
-                             time.monotonic()))
+                        future = executor.submit(execute_job, job)
+                        running[future] = (index, job, time.monotonic())
                 except _CRASH_ERRORS:
                     # Could not even hand work to the pool — run this
                     # whole round inline (idempotent: deterministic
@@ -236,43 +370,99 @@ class ParallelRunner:
                     self._emit("fallback",
                                detail="submission to pool failed; "
                                       "running jobs inline")
-                    self._run_inline(queue, fingerprints, results)
+                    self._run_inline(queue, fingerprints, results, drain)
                     return
-                for index, job, future, started in submitted:
-                    try:
-                        payload = future.result(timeout=self.timeout_s)
-                    except FutureTimeoutError:
-                        future.cancel()
-                        hung_worker = True
-                        self._handle_failure(
-                            index, job, attempts, retry_queue,
-                            TimeoutError(
-                                f"no result within {self.timeout_s}s"),
-                            crashed=False,
-                            fingerprints=fingerprints, results=results)
-                    except _CRASH_ERRORS as exc:
-                        self._handle_failure(
-                            index, job, attempts, retry_queue, exc,
-                            crashed=True,
-                            fingerprints=fingerprints, results=results)
-                    else:
-                        self._complete(index, job, fingerprints[index],
-                                       payload,
-                                       time.monotonic() - started,
-                                       results)
+                hung_worker = self._collect(running, attempts,
+                                            retry_queue, fingerprints,
+                                            results, drain)
             finally:
                 # Waiting reclaims worker processes cleanly; skip it
                 # only when a timed-out (possibly hung) worker would
                 # block the join forever.
                 executor.shutdown(wait=not hung_worker,
                                   cancel_futures=True)
+            if retry_queue and not drain.stop_requested:
+                self._sleep_backoff(retry_queue, attempts, fingerprints,
+                                    drain)
             queue = retry_queue
+
+    def _collect(self, running: dict, attempts: dict, retry_queue: list,
+                 fingerprints: list, results: list,
+                 drain: SignalDrain) -> bool:
+        """Gather one round's futures with concurrent deadlines.
+
+        All in-flight deadlines are tracked from each job's *own*
+        submission time and checked on every wake-up, so k concurrently
+        slow jobs are all detected within one timeout — the old serial
+        ``future.result(timeout=...)`` loop stacked them.  Completed
+        payloads persist the moment they finish, not when their turn in
+        a collection loop comes.  Returns True when a deadline expired
+        on an uncancellable (possibly hung) worker.
+        """
+        hung_worker = False
+        drained = False
+        while running:
+            if drain.stop_requested and not drained:
+                # Stop request: shed everything the pool has not
+                # started yet; what is executing drains to completion.
+                drained = True
+                for future in list(running):
+                    if future.cancel():
+                        running.pop(future)
+                if not running:
+                    break
+            timeout = _WAIT_SLICE_S
+            if self.timeout_s is not None:
+                now = time.monotonic()
+                next_deadline = min(
+                    started + self.timeout_s
+                    for _, _, started in running.values())
+                timeout = min(timeout, max(0.0, next_deadline - now))
+            done, _ = wait(set(running), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                index, job, started = running.pop(future)
+                wall_s = time.monotonic() - started
+                try:
+                    payload = future.result()
+                except _CRASH_ERRORS as exc:
+                    self._handle_failure(
+                        index, job, attempts, retry_queue, exc,
+                        crashed=True, fingerprints=fingerprints,
+                        results=results)
+                except Exception as exc:
+                    # The job's own code raised inside the worker.
+                    if self.strict:
+                        raise
+                    self._fail(index, job, fingerprints[index],
+                               "job-error", exc,
+                               attempts=attempts.get(index, 0) + 1,
+                               wall_s=wall_s, results=results)
+                else:
+                    self._complete(index, job, fingerprints[index],
+                                   payload, wall_s, results)
+            if self.timeout_s is None:
+                continue
+            now = time.monotonic()
+            for future, (index, job, started) in list(running.items()):
+                if now - started < self.timeout_s:
+                    continue
+                running.pop(future)
+                if not future.cancel():
+                    hung_worker = True
+                self._handle_failure(
+                    index, job, attempts, retry_queue,
+                    TimeoutError(f"no result within {self.timeout_s}s"),
+                    crashed=False, fingerprints=fingerprints,
+                    results=results)
+        return hung_worker
 
     def _handle_failure(self, index: int, job: Job, attempts: dict,
                         retry_queue: list, cause: BaseException,
                         crashed: bool, fingerprints: list,
                         results: list) -> None:
         attempts[index] = attempts.get(index, 0) + 1
+        kind = "worker-crash" if crashed else "timeout"
         if attempts[index] <= self.retries:
             self.stats.retries += 1
             self._emit("retry", job=job,
@@ -287,11 +477,44 @@ class ParallelRunner:
                        detail=f"{job.label}: worker crashed repeatedly;"
                               " final inline attempt")
             started = time.monotonic()
-            payload = execute_job(job)
+            try:
+                payload = execute_job(job)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                self._fail(index, job, fingerprints[index], "job-error",
+                           exc, attempts=attempts[index] + 1,
+                           wall_s=time.monotonic() - started,
+                           results=results)
+                return
             self._complete(index, job, fingerprints[index], payload,
                            time.monotonic() - started, results)
             return
-        raise JobExecutionError(job, cause)
+        if self.strict:
+            raise JobExecutionError(job, cause)
+        self._fail(index, job, fingerprints[index], kind, cause,
+                   attempts=attempts[index],
+                   wall_s=(self.timeout_s or 0.0), results=results)
+
+    def _sleep_backoff(self, retry_queue: list, attempts: dict,
+                       fingerprints: list, drain: SignalDrain) -> None:
+        """Back off before the retry round (exponential, jittered).
+
+        One sleep per round, sized to the largest per-job delay —
+        retries re-submit together, but the jitter keys off each job's
+        fingerprint so schedules stay deterministic and de-correlated
+        across sweeps.
+        """
+        delay = max(self.backoff.delay_s(fingerprints[index],
+                                         attempts.get(index, 1))
+                    for index, _ in retry_queue)
+        deadline = time.monotonic() + delay
+        while not drain.stop_requested:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(remaining, 0.1))
+        self.stats.backoff_s += delay
 
     def _make_executor(self, n_pending: int
                        ) -> Optional[ProcessPoolExecutor]:
@@ -308,15 +531,33 @@ class ParallelRunner:
 
 def make_runner(jobs: int = 1, cache_dir=None,
                 runner: Optional[ParallelRunner] = None,
-                progress: Optional[Callable[[JobEvent], None]] = None
-                ) -> ParallelRunner:
+                progress: Optional[Callable[[JobEvent], None]] = None,
+                *,
+                retries: int = 1,
+                timeout_s: Optional[float] = None,
+                strict: bool = False,
+                failure_budget: Optional[float] = None,
+                journal=None,
+                handle_signals: bool = True) -> ParallelRunner:
     """The experiment drivers' shared runner-construction shorthand.
 
     Passing an explicit ``runner`` wins (and exposes its ``stats`` to
     the caller); otherwise one is built from ``jobs`` and an optional
-    ``cache_dir`` (which enables the on-disk result store).
+    ``cache_dir`` (which enables the on-disk result store *and* an
+    append-only sweep journal beside it — pass ``journal=False`` to
+    disable, or a path/:class:`SweepJournal` to relocate it).
     """
     if runner is not None:
         return runner
     store = ResultStore(cache_dir) if cache_dir else None
-    return ParallelRunner(jobs=jobs, store=store, progress=progress)
+    if journal is None and cache_dir:
+        journal = SweepJournal(Path(cache_dir) / JOURNAL_NAME)
+    elif isinstance(journal, (str, Path)):
+        journal = SweepJournal(journal)
+    elif journal is False:
+        journal = None
+    return ParallelRunner(jobs=jobs, store=store, progress=progress,
+                          retries=retries, timeout_s=timeout_s,
+                          strict=strict, failure_budget=failure_budget,
+                          journal=journal,
+                          handle_signals=handle_signals)

@@ -2,20 +2,66 @@
 
 Each entry is one job's JSON payload, filed under the job's input
 fingerprint (sharded by the first two hex digits to keep directories
-small at paper scale and beyond).  Writes go through
-:func:`repro.harness.serialize.write_json_atomic`, so an interrupted
-run can never leave a truncated entry — and whatever *did* complete is
-picked up as cache hits when the sweep is re-run, making long sweeps
-resumable.
+small at paper scale and beyond).  Since the cache-integrity PR,
+payloads travel inside a checksummed envelope::
+
+    {"__repro_envelope__": 1, "sha256": "<payload checksum>",
+     "payload": {...}}
+
+Writes go through :func:`repro.harness.serialize.write_json_atomic`,
+so an interrupted run can never leave a truncated entry — and whatever
+*did* complete is picked up as cache hits when the sweep is re-run,
+making long sweeps resumable.  Entries that fail to parse or whose
+checksum does not match are **quarantined** under ``quarantine/``
+(with a one-line reason log) instead of silently deleted, so disk
+corruption is observable and diagnosable; the affected job simply
+re-executes.  ``python -m repro cache verify|gc`` scans, reports and
+repairs a store from the command line.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..harness.serialize import write_json_atomic
+from .job import canonical_json
+
+#: Bump when the envelope layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Envelope marker key (never a legitimate payload field).
+ENVELOPE_KEY = "__repro_envelope__"
+
+#: Quarantine subdirectory (never a shard: shards are two hex chars).
+QUARANTINE_DIR = "quarantine"
+
+#: Fingerprints are lowercase hex digests (SHA-256 in practice).
+_FINGERPRINT_RE = re.compile(r"[0-9a-f]{8,128}")
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """One scan of a store: what it holds and what it quarantined."""
+
+    entries: int = 0
+    bytes: int = 0
+    quarantined: int = 0
+
+    def format(self) -> str:
+        return (f"{self.entries} entries, {self.bytes} bytes, "
+                f"{self.quarantined} quarantined")
 
 
 class ResultStore:
@@ -23,19 +69,34 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        #: Entries quarantined by this process (fed into
+        #: :class:`repro.exec.RunnerStats`).
+        self.quarantine_events = 0
 
     def path_for(self, fingerprint: str) -> Path:
         """Where ``fingerprint``'s payload lives (or would live)."""
-        if not fingerprint or any(c in fingerprint for c in "/\\."):
-            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        if not isinstance(fingerprint, str) \
+                or not _FINGERPRINT_RE.fullmatch(fingerprint):
+            raise ValueError(
+                f"malformed fingerprint {fingerprint!r}: store keys "
+                f"must be lowercase hex digests (8-128 chars) — other "
+                f"characters (e.g. '/', '\\', '.') could escape the "
+                f"sharded cache layout or collide with its metadata "
+                f"files")
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> Optional[dict]:
-        """The cached payload, or ``None`` if absent or unreadable.
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
 
-        Corrupted entries (truncated JSON from a kill -9, disk-full
-        debris, hand-edited files) are deleted and treated as misses —
-        the job simply re-executes.
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload, or ``None`` if absent or invalid.
+
+        Invalid entries (truncated JSON from a kill -9, disk-full
+        debris, checksum mismatches, hand-edited files) are moved to
+        ``quarantine/`` — preserved for diagnosis, never silently
+        deleted — and treated as misses, so the job re-executes.
         """
         path = self.path_for(fingerprint)
         try:
@@ -43,18 +104,37 @@ class ResultStore:
         except (FileNotFoundError, OSError):
             return None
         try:
-            payload = json.loads(text)
+            entry = json.loads(text)
         except ValueError:
-            self.discard(fingerprint)
+            self.quarantine(fingerprint, "unparseable JSON")
+            return None
+        if not isinstance(entry, dict):
+            self.quarantine(fingerprint, "not a JSON object")
+            return None
+        if ENVELOPE_KEY not in entry:
+            # Pre-envelope entry: accept as-is (determinism already
+            # guarantees its content; verify() upgrades it in place).
+            return entry
+        schema = entry.get(ENVELOPE_KEY)
+        payload = entry.get("payload")
+        if schema != SCHEMA_VERSION:
+            self.quarantine(fingerprint,
+                            f"unknown envelope schema {schema!r}")
             return None
         if not isinstance(payload, dict):
-            self.discard(fingerprint)
+            self.quarantine(fingerprint, "envelope without payload")
+            return None
+        if entry.get("sha256") != payload_checksum(payload):
+            self.quarantine(fingerprint, "checksum mismatch")
             return None
         return payload
 
     def put(self, fingerprint: str, payload: dict) -> None:
-        """Persist one completed job's payload (atomic)."""
-        write_json_atomic(payload, self.path_for(fingerprint),
+        """Persist one completed job's payload (atomic, checksummed)."""
+        entry = {ENVELOPE_KEY: SCHEMA_VERSION,
+                 "sha256": payload_checksum(payload),
+                 "payload": payload}
+        write_json_atomic(entry, self.path_for(fingerprint),
                           indent=None)
 
     def discard(self, fingerprint: str) -> None:
@@ -64,10 +144,123 @@ class ResultStore:
         except (FileNotFoundError, OSError):
             pass
 
+    def quarantine(self, fingerprint: str, reason: str) -> None:
+        """Move one invalid entry aside (never silently delete it)."""
+        path = self.path_for(fingerprint)
+        dest = self.quarantine_root / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return
+        self.quarantine_events += 1
+        try:
+            with open(self.quarantine_root / "log.jsonl", "a") as log:
+                log.write(json.dumps(
+                    {"fingerprint": fingerprint, "reason": reason},
+                    separators=(",", ":")) + "\n")
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == QUARANTINE_DIR:
+                continue
+            # rglob, not glob: count entries even if a future layout
+            # (or a hand-moved file) nests them deeper than one shard.
+            yield from sorted(shard.rglob("*.json"))
+
     def __contains__(self, fingerprint: str) -> bool:
         return self.path_for(fingerprint).exists()
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return sum(1 for _ in self._entry_paths())
+
+    def stats(self) -> StoreStats:
+        """Scan the store: entry count, payload bytes, quarantined."""
+        out = StoreStats()
+        for path in self._entry_paths():
+            out.entries += 1
+            try:
+                out.bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        if self.quarantine_root.is_dir():
+            out.quarantined = sum(
+                1 for _ in self.quarantine_root.glob("*.json"))
+        return out
+
+    # ------------------------------------------------------------------
+    def verify(self, upgrade: bool = True) -> dict:
+        """Validate every entry; quarantine bad ones, report counts.
+
+        ``upgrade=True`` rewrites valid pre-envelope entries into the
+        checksummed envelope format so the whole store ends uniform.
+        Returns ``{"checked", "ok", "upgraded", "quarantined",
+        "foreign"}``.
+        """
+        report = {"checked": 0, "ok": 0, "upgraded": 0,
+                  "quarantined": 0, "foreign": 0}
+        before = self.quarantine_events
+        for path in list(self._entry_paths()):
+            fingerprint = path.stem
+            if not _FINGERPRINT_RE.fullmatch(fingerprint):
+                report["foreign"] += 1
+                continue
+            report["checked"] += 1
+            try:
+                legacy = ENVELOPE_KEY not in json.loads(
+                    path.read_text())
+            except (ValueError, OSError):
+                legacy = False
+            payload = self.get(fingerprint)
+            if payload is None:
+                continue
+            report["ok"] += 1
+            if legacy and upgrade:
+                self.put(fingerprint, payload)
+                report["upgraded"] += 1
+        report["quarantined"] = self.quarantine_events - before
+        return report
+
+    def gc(self) -> dict:
+        """Reclaim space: purge quarantine, temp debris, empty shards.
+
+        Returns ``{"removed", "bytes"}``.  Valid entries are never
+        touched — quarantined files have been reported by ``verify``
+        (or at ``get`` time) before they can be collected here.
+        """
+        removed = 0
+        freed = 0
+        if self.quarantine_root.is_dir():
+            for path in sorted(self.quarantine_root.iterdir()):
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced removal
+                    continue
+                removed += 1
+                freed += size
+            try:
+                self.quarantine_root.rmdir()
+            except OSError:  # pragma: no cover - non-empty
+                pass
+        if self.root.is_dir():
+            for stray in sorted(self.root.rglob("*.tmp")):
+                try:
+                    size = stray.stat().st_size
+                    stray.unlink()
+                except OSError:  # pragma: no cover - raced removal
+                    continue
+                removed += 1
+                freed += size
+            for shard in sorted(self.root.iterdir()):
+                if shard.is_dir() and not any(shard.iterdir()):
+                    try:
+                        shard.rmdir()
+                    except OSError:  # pragma: no cover
+                        pass
+        return {"removed": removed, "bytes": freed}

@@ -24,17 +24,19 @@ def initialize_worker() -> None:
 
     Pins the math libraries to one thread per worker (the parallelism
     budget belongs to the process pool, not to BLAS), and ignores
-    SIGINT so a Ctrl-C interrupts only the parent — completed jobs
-    already sit in the result store, making interrupted sweeps
-    resumable.
+    SIGINT/SIGTERM so a Ctrl-C (or a terminal-wide TERM) interrupts
+    only the parent, whose :class:`repro.exec.SignalDrain` then drains
+    in-flight jobs cleanly — completed jobs already sit in the result
+    store and journal, making interrupted sweeps resumable.
     """
     for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
                 "MKL_NUM_THREADS"):
         os.environ.setdefault(var, "1")
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - non-main thread
-        pass
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main
+            pass
 
 
 def execute_job(job: Job) -> dict:

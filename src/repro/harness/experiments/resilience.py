@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ...exec import Job, make_runner
+from ...exec import Job, is_failure, make_runner
 from ...faults import FaultSpec
 from ..metrics import FlowSummary
 from ..report import format_table
@@ -97,6 +97,9 @@ class ResilienceResult:
 
     duration_s: float
     entries: list = field(default_factory=list)
+    #: Structured :class:`repro.exec.JobFailure` records for grid
+    #: cells that failed (the rest of the grid still reports).
+    failures: list = field(default_factory=list)
 
     def schemes(self) -> list[str]:
         return list(dict.fromkeys(e.scheme for e in self.entries))
@@ -125,12 +128,17 @@ class ResilienceResult:
                 entry.summary.p95_delay_ms,
                 entry.lost_packets,
             ])
-        return format_table(
+        table = format_table(
             ["scheme", "DCI miss", "outage (ms)", "tput (Mbit/s)",
              "vs clean (%)", "fallback (s)", "p95 delay (ms)", "lost"],
             rows,
             title=("Resilience sweep: impaired decode/feedback, busy "
                    f"cell, {self.duration_s:g} s flows"))
+        if self.failures:
+            lines = [f"  FAILED {f.summary()}" for f in self.failures]
+            table += (f"\n{len(self.failures)} run(s) failed:\n"
+                      + "\n".join(lines))
+        return table
 
 
 def resilience_jobs(schemes: tuple[str, ...] = ("pbe", "bbr"),
@@ -159,7 +167,10 @@ def run_resilience(schemes: tuple[str, ...] = ("pbe", "bbr"),
                    duration_s: float = 6.0,
                    base_seed: int = 400, fault_seed: int = 7,
                    jobs: int = 1, cache_dir=None,
-                   runner=None, progress=None) -> ResilienceResult:
+                   runner=None, progress=None,
+                   timeout_s=None, retries: int = 1,
+                   strict: bool = False,
+                   failure_budget=None) -> ResilienceResult:
     """Run the miss-rate × outage-duration resilience grid.
 
     Every scheme's (0, 0) cell is its unimpaired reference; the
@@ -169,10 +180,15 @@ def run_resilience(schemes: tuple[str, ...] = ("pbe", "bbr"),
     job_list = resilience_jobs(schemes, miss_rates, outages_ms,
                                duration_s, base_seed, fault_seed)
     runner = make_runner(jobs=jobs, cache_dir=cache_dir, runner=runner,
-                         progress=progress)
+                         progress=progress, timeout_s=timeout_s,
+                         retries=retries, strict=strict,
+                         failure_budget=failure_budget)
     payloads = runner.run(job_list)
     result = ResilienceResult(duration_s=duration_s)
     for job, payload in zip(job_list, payloads):
+        if is_failure(payload):
+            result.failures.append(payload)
+            continue
         faults = job.spec_overrides.get("faults") or {}
         outages = faults.get("outages") or []
         result.entries.append(ResilienceEntry(

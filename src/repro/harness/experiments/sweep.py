@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ...exec import Job, make_runner
+from ...exec import Job, is_failure, make_runner
 from ..metrics import FlowSummary
 from ..scenarios import Scenario, stationary_locations
 from ..serialize import summary_from_dict, summary_to_dict
@@ -40,6 +40,9 @@ class SweepResult:
     """All runs of one stationary sweep."""
 
     entries: list[SweepEntry] = field(default_factory=list)
+    #: Structured :class:`repro.exec.JobFailure` records for runs that
+    #: failed (non-strict execution keeps the rest of the sweep).
+    failures: list = field(default_factory=list)
     #: Lazily built {location: {scheme: entry}} index, rebuilt whenever
     #: the entry count changes (entries are append-only in practice).
     _location_index: dict | None = field(
@@ -114,7 +117,10 @@ def run_stationary_sweep(schemes: tuple[str, ...] = ("pbe", "bbr"),
                          duration_s: float = 8.0,
                          base_seed: int = 100,
                          jobs: int = 1, cache_dir=None,
-                         runner=None, progress=None) -> SweepResult:
+                         runner=None, progress=None,
+                         timeout_s=None, retries: int = 1,
+                         strict: bool = False,
+                         failure_budget=None) -> SweepResult:
     """Run ``schemes`` over a busy/idle location grid.
 
     ``n_busy=25, n_idle=15`` reproduces the paper's full 40-location
@@ -124,13 +130,25 @@ def run_stationary_sweep(schemes: tuple[str, ...] = ("pbe", "bbr"),
     ``jobs``/``cache_dir`` configure parallelism and result caching
     (see :func:`repro.exec.make_runner`); pass a ``runner`` directly to
     reuse a pool/store across sweeps or to inspect its telemetry.
+    Supervision knobs pass straight through: ``timeout_s`` (concurrent
+    per-job deadline), ``retries`` (crash/timeout re-submissions with
+    jittered backoff), ``strict`` (abort on first failure instead of
+    recording a :class:`repro.exec.JobFailure` in ``.failures``) and
+    ``failure_budget`` (abort once that fraction of jobs has failed).
+    With a ``cache_dir`` the sweep journals every outcome beside the
+    cache, so an interrupted run resumes with zero recomputation.
     """
     job_list = sweep_jobs(schemes, n_busy=n_busy, n_idle=n_idle,
                           duration_s=duration_s, base_seed=base_seed)
     runner = make_runner(jobs=jobs, cache_dir=cache_dir, runner=runner,
-                         progress=progress)
+                         progress=progress, timeout_s=timeout_s,
+                         retries=retries, strict=strict,
+                         failure_budget=failure_budget)
     payloads = runner.run(job_list)
     result = SweepResult()
     for job, payload in zip(job_list, payloads):
-        result.entries.append(entry_from_payload(job, payload))
+        if is_failure(payload):
+            result.failures.append(payload)
+        else:
+            result.entries.append(entry_from_payload(job, payload))
     return result

@@ -74,3 +74,61 @@ def test_sweep_command_table1_view(capsys):
                  "1", "--idle", "1", "--duration", "1", "--view",
                  "table1"]) == 0
     assert "Table 1" in capsys.readouterr().out
+
+
+def test_sweep_isolates_bad_scheme(capsys):
+    # a poisoned configuration: the sweep still prints the good rows,
+    # reports the failure on stderr, and exits non-zero
+    assert main(["sweep", "--schemes", "bbr,warp-drive", "--busy", "1",
+                 "--idle", "1", "--duration", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "bbr" in captured.out
+    assert "FAILED" in captured.err
+    assert "warp-drive" in captured.err
+
+
+def test_sweep_strict_aborts_on_bad_scheme():
+    with pytest.raises(ValueError):
+        main(["sweep", "--schemes", "bbr,warp-drive", "--busy", "1",
+              "--idle", "1", "--duration", "1", "--strict"])
+
+
+def test_sweep_failure_budget_exit_code():
+    # every job fails, budget 10% -> circuit breaker (exit code 3)
+    assert main(["sweep", "--schemes", "warp-drive", "--busy", "2",
+                 "--idle", "1", "--duration", "1",
+                 "--failure-budget", "10"]) == 3
+
+
+def test_resume_requires_cache_dir():
+    with pytest.raises(SystemExit, match="--cache-dir"):
+        main(["sweep", "--schemes", "bbr", "--busy", "1", "--idle",
+              "1", "--duration", "1", "--resume"])
+
+
+def test_cache_verify_and_gc(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--schemes", "bbr", "--busy", "1", "--idle",
+                 "1", "--duration", "1", "--cache-dir",
+                 str(cache)]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "checked 2 entries: 2 ok" in out
+    assert "0 quarantined" in out
+
+    # tamper with one entry: verify quarantines it and exits 1
+    entry = next(cache.glob("??/*.json"))
+    entry.write_text('{"broken json')
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 1
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out
+    assert (cache / "quarantine" / entry.name).is_file()
+
+    # gc reclaims the quarantined bytes; verify is clean afterwards
+    assert main(["cache", "gc", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "removed" in out and "reclaimed" in out
+    assert not (cache / "quarantine" / entry.name).exists()
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0

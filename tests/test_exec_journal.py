@@ -1,0 +1,167 @@
+"""Sweep journal: append-only JSONL history and tolerant replay."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    JOURNAL_NAME,
+    Job,
+    JobFailure,
+    ParallelRunner,
+    ResultStore,
+    SweepJournal,
+    is_failure,
+    make_runner,
+    sweep_fingerprint,
+)
+from repro.harness import Scenario
+from repro.phy.carrier import CarrierConfig
+
+
+def tiny_scenario(seed=7, **overrides):
+    base = dict(name=f"jrn-{seed}", carriers=[CarrierConfig(0, 10.0)],
+                aggregated_cells=1, mean_sinr_db=14.0,
+                duration_s=1.0, seed=seed)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def sample_failure(fp="ab" * 32):
+    return JobFailure(label="x/pbe", fingerprint=fp, kind="job-error",
+                      exc_type="ValueError", message="boom",
+                      traceback="tb", attempts=1, wall_s=0.1)
+
+
+# ---------------------------------------------------------------------
+def test_sweep_fingerprint_is_order_insensitive():
+    a = sweep_fingerprint(["11" * 32, "22" * 32])
+    b = sweep_fingerprint(["22" * 32, "11" * 32, "11" * 32])
+    assert a == b
+    assert a != sweep_fingerprint(["11" * 32])
+
+
+def test_journal_records_and_replays(tmp_path):
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    journal.begin("s" * 64, total=3)
+    journal.record_done("11" * 32, "a/pbe", wall_s=1.25)
+    journal.record_failure(sample_failure("22" * 32))
+    journal.end("interrupted")
+
+    state = journal.replay()
+    assert state.sweep == "s" * 64
+    assert state.total == 3
+    assert state.done == {"11" * 32}
+    assert set(state.failed) == {"22" * 32}
+    assert state.failed["22" * 32].message == "boom"
+    assert state.ended == "interrupted"
+    assert state.malformed == 0
+    assert "1 done, 1 failed of 3 jobs" in state.summary()
+    assert "interrupted" in state.summary()
+
+
+def test_replay_of_missing_journal_is_empty(tmp_path):
+    state = SweepJournal(tmp_path / "nope.jsonl").replay()
+    assert state.done == set() and state.failed == {}
+    assert state.ended is None
+
+
+def test_replay_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.begin("s" * 64, total=2)
+    journal.record_done("11" * 32, "a/pbe", wall_s=1.0)
+    # simulate SIGKILL mid-append: a partial final line
+    with open(path, "a") as handle:
+        handle.write('{"kind": "job", "status": "do')
+    state = journal.replay()
+    assert state.done == {"11" * 32}
+    assert state.malformed == 1
+
+
+def test_replay_last_status_wins(tmp_path):
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    fp = "11" * 32
+    journal.begin("s" * 64, total=1)
+    journal.record_failure(sample_failure(fp))
+    # a later run (appended to the same journal) finishes the job
+    journal.begin("s" * 64, total=1)
+    journal.record_done(fp, "a/pbe", wall_s=2.0)
+    journal.end("complete")
+    state = journal.replay()
+    assert state.done == {fp}
+    assert state.failed == {}
+    assert state.ended == "complete"
+
+
+def test_appends_are_flushed_per_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.begin("s" * 64, total=1)
+    # visible on disk immediately, without any close/end call
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["kind"] == "sweep"
+
+
+# ---------------------------------------------------------------------
+# Runner integration: make_runner journals beside the cache by default.
+def test_runner_journals_outcomes(tmp_path):
+    runner = make_runner(jobs=1, cache_dir=tmp_path)
+    jobs = [Job(tiny_scenario(seed=1), "bbr"),
+            Job(tiny_scenario(seed=2), "warp-drive")]
+    results = runner.run(jobs)
+    assert not is_failure(results[0]) and is_failure(results[1])
+
+    journal = SweepJournal(tmp_path / JOURNAL_NAME)
+    state = journal.replay()
+    assert state.total == 2
+    assert state.sweep == sweep_fingerprint(
+        [j.fingerprint() for j in jobs])
+    assert state.done == {jobs[0].fingerprint()}
+    assert set(state.failed) == {jobs[1].fingerprint()}
+    assert state.ended == "complete"
+
+
+def test_runner_skips_journal_when_everything_is_cached(tmp_path):
+    jobs = [Job(tiny_scenario(seed=1), "bbr")]
+    make_runner(jobs=1, cache_dir=tmp_path).run(jobs)
+    journal_path = tmp_path / JOURNAL_NAME
+    before = journal_path.read_text()
+    warm = make_runner(jobs=1, cache_dir=tmp_path)
+    warm.run(jobs)
+    assert warm.stats.cache_hits == 1
+    # a pure cache-hit run appends nothing — no spurious sweep headers
+    assert journal_path.read_text() == before
+
+
+def test_journal_can_be_disabled(tmp_path):
+    runner = make_runner(jobs=1, cache_dir=tmp_path, journal=False)
+    runner.run([Job(tiny_scenario(seed=1), "bbr")])
+    assert not (tmp_path / JOURNAL_NAME).exists()
+
+
+def test_resume_reexecutes_only_failures(tmp_path):
+    """The resume contract: done jobs are cache hits, failed re-run."""
+    jobs = [Job(tiny_scenario(seed=1), "bbr"),
+            Job(tiny_scenario(seed=2), "warp-drive")]
+    make_runner(jobs=1, cache_dir=tmp_path).run(jobs)
+
+    again = make_runner(jobs=1, cache_dir=tmp_path)
+    results = again.run(jobs)
+    assert again.stats.cache_hits == 1  # done job not recomputed
+    assert again.stats.failed == 1      # failure re-attempted, not skipped
+    assert is_failure(results[1])
+
+    state = SweepJournal(tmp_path / JOURNAL_NAME).replay()
+    assert len(state.done) == 1 and len(state.failed) == 1
+
+
+def test_explicit_journal_object(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    journal = SweepJournal(tmp_path / "elsewhere.jsonl")
+    runner = ParallelRunner(jobs=1, store=store, journal=journal)
+    runner.run([Job(tiny_scenario(seed=1), "bbr")])
+    state = journal.replay()
+    assert len(state.done) == 1
+    assert state.ended == "complete"

@@ -18,6 +18,7 @@ from repro.exec import (
     ResultStore,
     canonical_json,
     execute_job,
+    is_failure,
 )
 from repro.harness import Scenario
 from repro.harness.experiments import run_stationary_sweep
@@ -127,6 +128,7 @@ def test_corrupt_cache_entry_reexecuted(tmp_path):
     [recomputed] = again.run([job])
     assert again.stats.executed == 1
     assert again.stats.cache_hits == 0
+    assert again.stats.quarantined == 1  # debris kept, not deleted
     assert recomputed == payload  # determinism heals the cache
 
 
@@ -171,21 +173,45 @@ def test_pool_unavailable_falls_back_inline(monkeypatch):
     assert runner.stats.executed == 1
 
 
-def test_job_error_propagates_inline():
+def test_job_error_isolated_inline_by_default():
+    runner = ParallelRunner()
+    [failure] = runner.run([Job(tiny_scenario(), "warp-drive")])
+    assert is_failure(failure)
+    assert failure.kind == "job-error"
+    assert failure.exc_type == "ValueError"
+    assert "unknown scheme" in failure.message
+    assert "Traceback" in failure.traceback
+    assert runner.stats.failed == 1
+
+
+def test_job_error_propagates_inline_when_strict():
     with pytest.raises(ValueError, match="unknown scheme"):
-        ParallelRunner().run([Job(tiny_scenario(), "warp-drive")])
+        ParallelRunner(strict=True).run(
+            [Job(tiny_scenario(), "warp-drive")])
 
 
-def test_timeout_guard_raises_after_retries():
+def test_timeout_guard_raises_after_retries_when_strict():
     if not pool_works():
         pytest.skip("no working process pool on this platform")
-    runner = ParallelRunner(jobs=2, timeout_s=0.001, retries=0)
+    runner = ParallelRunner(jobs=2, timeout_s=0.001, retries=0,
+                            strict=True)
     with pytest.raises(JobExecutionError) as err:
         # two jobs: a single pending job would take the inline path,
         # which has no pool to time out on
         runner.run([Job(tiny_scenario(seed=7), "bbr"),
                     Job(tiny_scenario(seed=8), "bbr")])
     assert "/bbr" in str(err.value)
+
+
+def test_timeout_isolated_as_failure_by_default():
+    if not pool_works():
+        pytest.skip("no working process pool on this platform")
+    runner = ParallelRunner(jobs=2, timeout_s=0.001, retries=0)
+    failures = runner.run([Job(tiny_scenario(seed=7), "bbr"),
+                           Job(tiny_scenario(seed=8), "bbr")])
+    assert all(is_failure(f) and f.kind == "timeout"
+               for f in failures)
+    assert runner.stats.failed == 2
 
 
 def test_constructor_validation():
@@ -195,6 +221,8 @@ def test_constructor_validation():
         ParallelRunner(retries=-1)
     with pytest.raises(ValueError):
         ParallelRunner(timeout_s=0)
+    with pytest.raises(ValueError):
+        ParallelRunner(failure_budget=1.5)
 
 
 def test_payloads_are_json_normalized():

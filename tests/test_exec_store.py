@@ -5,7 +5,8 @@ import os
 
 import pytest
 
-from repro.exec import ResultStore
+from repro.exec import ResultStore, payload_checksum
+from repro.exec.store import ENVELOPE_KEY, SCHEMA_VERSION
 from repro.harness.serialize import write_json_atomic
 
 FP = "ab" + "0" * 62
@@ -31,28 +32,134 @@ def test_entries_sharded_by_prefix(tmp_path):
     assert len(store) == 2
 
 
-def test_corrupt_entry_discarded_not_crashed(tmp_path):
+def test_corrupt_entry_quarantined_not_crashed(tmp_path):
     store = ResultStore(tmp_path)
     store.put(FP, {"ok": True})
     path = store.path_for(FP)
     path.write_text('{"ok": tru')  # truncated mid-write
     assert store.get(FP) is None
-    assert not path.exists()  # debris removed; next run re-executes
+    assert not path.exists()  # gone from the shard...
+    quarantined = store.quarantine_root / f"{FP}.json"
+    assert quarantined.is_file()  # ...but preserved for diagnosis
+    assert store.quarantine_events == 1
+    assert store.stats().quarantined == 1
+    log = (store.quarantine_root / "log.jsonl").read_text()
+    assert FP in log and "unparseable" in log
 
 
-def test_non_dict_entry_discarded(tmp_path):
+def test_checksum_mismatch_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"ok": True})
+    path = store.path_for(FP)
+    entry = json.loads(path.read_text())
+    entry["payload"]["ok"] = False  # bit-rot inside the payload
+    path.write_text(json.dumps(entry))
+    assert store.get(FP) is None
+    assert (store.quarantine_root / f"{FP}.json").is_file()
+
+
+def test_unknown_envelope_schema_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    store.path_for(FP).parent.mkdir(parents=True)
+    store.path_for(FP).write_text(json.dumps(
+        {ENVELOPE_KEY: SCHEMA_VERSION + 1, "sha256": "x",
+         "payload": {}}))
+    assert store.get(FP) is None
+    assert store.quarantine_events == 1
+
+
+def test_legacy_plain_entry_still_readable(tmp_path):
+    store = ResultStore(tmp_path)
+    store.path_for(FP).parent.mkdir(parents=True)
+    store.path_for(FP).write_text('{"pre": "envelope"}')
+    assert store.get(FP) == {"pre": "envelope"}
+    assert store.quarantine_events == 0
+
+
+def test_put_writes_checksummed_envelope(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"x": 1})
+    entry = json.loads(store.path_for(FP).read_text())
+    assert entry[ENVELOPE_KEY] == SCHEMA_VERSION
+    assert entry["sha256"] == payload_checksum({"x": 1})
+    assert entry["payload"] == {"x": 1}
+
+
+def test_non_dict_entry_quarantined(tmp_path):
     store = ResultStore(tmp_path)
     store.path_for(FP).parent.mkdir(parents=True)
     store.path_for(FP).write_text("[1, 2, 3]")
     assert store.get(FP) is None
     assert FP not in store
+    assert store.quarantine_events == 1
 
 
 def test_malformed_fingerprint_rejected(tmp_path):
     store = ResultStore(tmp_path)
-    for bad in ("", "../escape", "a/b", "a.b"):
-        with pytest.raises(ValueError):
+    for bad in ("", "../escape", "a/b", "a.b", "ABCDEF01", "short",
+                "quarantine", None, 42):
+        with pytest.raises(ValueError) as err:
             store.path_for(bad)
+        assert "lowercase hex digest" in str(err.value)  # says why
+
+
+def test_stats_and_len_cover_nested_and_quarantined(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"a": 1})
+    store.put(FP2, {"b": 2})
+    # an entry nested deeper than one shard level still counts
+    nested = tmp_path / "ef" / "deep" / ("ef" + "2" * 62 + ".json")
+    nested.parent.mkdir(parents=True)
+    nested.write_text("{}")
+    assert len(store) == 3
+    store.path_for(FP).write_text("broken")
+    assert store.get(FP) is None  # quarantined
+    assert len(store) == 2  # live entries only
+    stats = store.stats()
+    assert stats.entries == 2
+    assert stats.bytes > 0
+    assert stats.quarantined == 1
+    assert "2 entries" in stats.format()
+
+
+def test_verify_upgrades_legacy_and_reports(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"modern": True})
+    legacy_path = store.path_for(FP2)
+    legacy_path.parent.mkdir(parents=True)
+    legacy_path.write_text('{"legacy": true}')
+    bad = "ee" + "3" * 62
+    store.path_for(bad).parent.mkdir(parents=True)
+    store.path_for(bad).write_text("not json")
+    (tmp_path / "ab" / "README.txt.json").write_text("{}")
+
+    report = store.verify()
+    assert report["checked"] == 3
+    assert report["ok"] == 2
+    assert report["upgraded"] == 1
+    assert report["quarantined"] == 1
+    assert report["foreign"] == 1
+    # the legacy entry now carries the envelope and still reads back
+    entry = json.loads(legacy_path.read_text())
+    assert entry[ENVELOPE_KEY] == SCHEMA_VERSION
+    assert store.get(FP2) == {"legacy": True}
+
+
+def test_gc_reclaims_quarantine_and_debris(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(FP, {"keep": True})
+    store.path_for(FP2).parent.mkdir(parents=True)
+    store.path_for(FP2).write_text("broken")
+    assert store.get(FP2) is None  # -> quarantine
+    stray = tmp_path / "ab" / ".x.json.123.tmp"
+    stray.write_text("debris")
+
+    out = store.gc()
+    assert out["removed"] >= 3  # entry + quarantine log + stray tmp
+    assert out["bytes"] > 0
+    assert not store.quarantine_root.exists()
+    assert not stray.exists()
+    assert store.get(FP) == {"keep": True}  # valid entries untouched
 
 
 def test_discard_missing_is_fine(tmp_path):
