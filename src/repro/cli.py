@@ -306,7 +306,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"{report['foreign']} foreign files skipped")
         print(f"store: {store.stats().format()}")
         return 1 if report["quarantined"] else 0
-    out = store.gc()
+    out = store.gc(tmp_grace_s=args.tmp_grace)
     print(f"gc: removed {out['removed']} quarantined/temp files, "
           f"reclaimed {out['bytes']} bytes")
     print(f"store: {store.stats().format()}")
@@ -445,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "quarantined/temp space")
     p_cache.add_argument("--cache-dir", required=True,
                          help="result cache directory to audit")
+    p_cache.add_argument("--tmp-grace", type=float, default=None,
+                         metavar="S",
+                         help="gc: skip *.tmp files younger than S "
+                              "seconds (default 3600) — they may be a "
+                              "live sweep's in-flight atomic write; "
+                              "pass 0 when no sweep is running")
     p_cache.add_argument("--no-upgrade", action="store_true",
                          help="verify only; do not rewrite valid "
                               "legacy entries into the checksummed "

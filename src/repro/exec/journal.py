@@ -8,11 +8,21 @@ its job set and an end marker recording how the run terminated
 (``complete`` / ``interrupted`` / ``aborted``).
 
 Because every line is self-contained JSON and writes are
-append + flush + fsync, a SIGKILL can at worst truncate the final
-line — :meth:`SweepJournal.replay` tolerates a trailing partial line
-and rebuilds the per-fingerprint status map (last status wins), which
-is what ``python -m repro sweep --resume`` uses to report finished
-work, skip it (via the store) and re-attempt only failures.
+append + flush (fsynced for begin/end markers, and at most once per
+:data:`_SYNC_INTERVAL_S` for job lines so short jobs don't pay one
+fsync each), a SIGKILL can at worst truncate the final line or drop
+the last sync window's worth of job lines — both benign, since the
+payloads live in the store and resume re-checks it.
+:meth:`SweepJournal.replay` tolerates a trailing partial line and
+rebuilds the per-fingerprint status map (last status wins), which is
+what ``python -m repro sweep --resume`` uses to report finished work,
+skip it (via the store) and re-attempt only failures.
+
+The journal is a convenience layer over the store, never a
+single point of failure: if an append hits an ``OSError`` (disk full,
+filesystem hiccup) the journal marks itself :attr:`~SweepJournal.broken`,
+warns once on stderr, and the sweep carries on journal-less rather
+than aborting.
 """
 
 from __future__ import annotations
@@ -20,6 +30,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -31,6 +43,10 @@ JOURNAL_VERSION = 1
 
 #: Default journal filename, created beside the result cache.
 JOURNAL_NAME = "journal.jsonl"
+
+#: Minimum spacing between fsyncs of job lines (begin/end markers
+#: always sync) — short jobs would otherwise pay one fsync each.
+_SYNC_INTERVAL_S = 0.5
 
 
 def sweep_fingerprint(fingerprints: Sequence[str]) -> str:
@@ -68,11 +84,16 @@ class SweepJournal:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        #: Set after the first failed write; later appends no-op so a
+        #: journal-side disk problem never aborts the sweep itself.
+        self.broken = False
+        self._last_sync = 0.0
 
     # ------------------------------------------------------------------
     def begin(self, sweep: str, total: int) -> None:
         self._append({"kind": "sweep", "version": JOURNAL_VERSION,
-                      "fingerprint": sweep, "total": total})
+                      "fingerprint": sweep, "total": total},
+                     sync=True)
 
     def record_done(self, fingerprint: str, label: str,
                     wall_s: float) -> None:
@@ -87,15 +108,34 @@ class SweepJournal:
                       "failure": failure.to_dict()})
 
     def end(self, status: str) -> None:
-        self._append({"kind": "end", "status": status})
+        self._append({"kind": "end", "status": status}, sync=True)
 
-    def _append(self, record: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+    def _append(self, record: dict, sync: bool = False) -> None:
+        """Append one line; degrade to journal-less on OSError.
+
+        The journal is an optimization over re-checking the store, so
+        a write failure (disk full, fs hiccup) must not abort the sweep
+        that is trying to record its progress — warn once, mark the
+        journal broken, and keep running.
+        """
+        if self.broken:
+            return
         line = json.dumps(record, separators=(",", ":")) + "\n"
-        with open(self.path, "a") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(line)
+                handle.flush()
+                now = time.monotonic()
+                if sync or now - self._last_sync >= _SYNC_INTERVAL_S:
+                    os.fsync(handle.fileno())
+                    self._last_sync = now
+        except OSError as exc:
+            self.broken = True
+            print(f"[repro.exec] journal write to {self.path} failed "
+                  f"({exc}); continuing without a journal — resume "
+                  f"falls back to re-checking the result store",
+                  file=sys.stderr)
 
     # ------------------------------------------------------------------
     def replay(self) -> JournalState:

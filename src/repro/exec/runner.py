@@ -140,10 +140,13 @@ class ParallelRunner:
 
     ``jobs=1`` executes inline (no pool, no pickling) — the worker path
     calls the identical :func:`execute_job`, so both modes return
-    byte-identical payloads.  ``timeout_s`` is a per-job deadline
-    measured from submission and enforced *concurrently* across all
-    in-flight jobs (stall detection for k slow jobs is O(timeout), not
-    O(k × timeout)); ``retries`` is how many times a job is
+    byte-identical payloads.  ``timeout_s`` is a per-job *execution*
+    deadline enforced *concurrently* across all in-flight jobs (stall
+    detection for k slow jobs is O(timeout), not O(k × timeout)); jobs
+    are handed to the pool only as workers free up, so the clock never
+    runs down on a job that is merely queued behind a full pool —
+    queue wait is not execution time and consumes no attempts;
+    ``retries`` is how many times a job is
     re-submitted after a worker crash or timeout (with exponential
     backoff and deterministic jitter) before the failure becomes
     terminal.
@@ -192,6 +195,12 @@ class ParallelRunner:
         self.handle_signals = handle_signals
         self.stats = RunnerStats()
         self._done = 0
+        #: True while the current pool round holds a timed-out worker
+        #: that refused cancellation (possibly hung).  Lives on the
+        #: instance, not in a local, so it survives exceptions raised
+        #: out of the collection loop (strict mode, failure budget) —
+        #: the shutdown path must never join a hung worker.
+        self._hung_worker = False
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> list:
@@ -242,13 +251,20 @@ class ParallelRunner:
                     else:
                         self._run_pool(pending, fingerprints, results,
                                        drain)
-        except FailureBudgetExceeded:
+        except BaseException:
+            # Any propagating abort — FailureBudgetExceeded, a
+            # strict-mode job exception, JobExecutionError, a hard
+            # second-signal KeyboardInterrupt — still finalizes stats
+            # and leaves an end marker, so ``stats`` describes the
+            # partial run and ``replay()`` sees how it terminated.
             self._finish(t0, quarantined_before)
-            self._journal_end("aborted")
+            if pending:
+                self._journal_end("aborted")
             raise
         if drain.stop_requested:
             self._finish(t0, quarantined_before)
-            self._journal_end("interrupted")
+            if pending:
+                self._journal_end("interrupted")
             raise SweepInterrupted(
                 done=self._done, total=self.stats.total,
                 journal_path=(self.journal.path
@@ -356,61 +372,78 @@ class ParallelRunner:
                 self._run_inline(queue, fingerprints, results, drain)
                 return
             retry_queue: list[tuple[int, Job]] = []
-            hung_worker = False
+            self._hung_worker = False
             try:
-                try:
-                    running: dict = {}
-                    for index, job in queue:
-                        future = executor.submit(execute_job, job)
-                        running[future] = (index, job, time.monotonic())
-                except _CRASH_ERRORS:
-                    # Could not even hand work to the pool — run this
-                    # whole round inline (idempotent: deterministic
-                    # jobs, and none of these futures is collected).
-                    self._emit("fallback",
-                               detail="submission to pool failed; "
-                                      "running jobs inline")
-                    self._run_inline(queue, fingerprints, results, drain)
-                    return
-                hung_worker = self._collect(running, attempts,
-                                            retry_queue, fingerprints,
-                                            results, drain)
+                self._collect(executor, min(self.jobs, len(queue)),
+                              queue, attempts, retry_queue,
+                              fingerprints, results, drain)
             finally:
                 # Waiting reclaims worker processes cleanly; skip it
                 # only when a timed-out (possibly hung) worker would
-                # block the join forever.
-                executor.shutdown(wait=not hung_worker,
+                # block the join forever — including when _collect
+                # exited via an exception (strict mode, failure
+                # budget), which is why the flag lives on self.
+                executor.shutdown(wait=not self._hung_worker,
                                   cancel_futures=True)
             if retry_queue and not drain.stop_requested:
                 self._sleep_backoff(retry_queue, attempts, fingerprints,
                                     drain)
             queue = retry_queue
 
-    def _collect(self, running: dict, attempts: dict, retry_queue: list,
+    def _collect(self, executor: ProcessPoolExecutor, workers: int,
+                 queue: list, attempts: dict, retry_queue: list,
                  fingerprints: list, results: list,
-                 drain: SignalDrain) -> bool:
-        """Gather one round's futures with concurrent deadlines.
+                 drain: SignalDrain) -> None:
+        """Submit and gather one round's jobs with concurrent deadlines.
 
-        All in-flight deadlines are tracked from each job's *own*
-        submission time and checked on every wake-up, so k concurrently
-        slow jobs are all detected within one timeout — the old serial
-        ``future.result(timeout=...)`` loop stacked them.  Completed
-        payloads persist the moment they finish, not when their turn in
-        a collection loop comes.  Returns True when a deadline expired
-        on an uncancellable (possibly hung) worker.
+        Jobs are handed to the pool at most ``workers`` at a time, so a
+        submitted job starts executing (almost) immediately and its
+        deadline clock measures *execution* — submitting everything up
+        front would let queue wait behind a full pool run the clock
+        down and pop never-started jobs as spurious timeouts (the pool
+        even marks prefetched queue items RUNNING, so cancellation
+        cannot tell them apart afterwards).  All in-flight deadlines
+        are checked on every wake-up, so k concurrently slow jobs are
+        all detected within one timeout, and completed payloads persist
+        the moment they finish.
+
+        A timed-out future that refuses cancellation is genuinely
+        executing (possibly hung): its failure is recorded, it marks
+        ``self._hung_worker`` so the pool shutdown never joins it, and
+        it is kept aside as a *zombie* that counts against submission
+        capacity until its worker actually returns.  If zombies ever
+        hold every worker, the round ends early and the unstarted jobs
+        move to a fresh pool with no attempt consumed.
         """
-        hung_worker = False
-        drained = False
-        while running:
-            if drain.stop_requested and not drained:
-                # Stop request: shed everything the pool has not
-                # started yet; what is executing drains to completion.
-                drained = True
+        to_submit = list(queue)
+        running: dict = {}
+        zombies: set = set()
+        while to_submit or running:
+            if drain.stop_requested:
+                # Stop request: drop what never reached the pool; what
+                # is executing drains to completion.
+                to_submit.clear()
                 for future in list(running):
                     if future.cancel():
                         running.pop(future)
-                if not running:
-                    break
+            while (to_submit and not drain.stop_requested
+                   and len(running) + len(zombies) < workers):
+                index, job = to_submit.pop(0)
+                try:
+                    future = executor.submit(execute_job, job)
+                except _CRASH_ERRORS as exc:
+                    self._handle_failure(
+                        index, job, attempts, retry_queue, exc,
+                        crashed=True, fingerprints=fingerprints,
+                        results=results)
+                    continue
+                running[future] = (index, job, time.monotonic())
+            if not running:
+                if to_submit and zombies:
+                    # Every worker is stuck past its deadline; hand the
+                    # unstarted jobs to a fresh pool, attempts intact.
+                    retry_queue.extend(to_submit)
+                return  # zombies are abandoned to the pool shutdown
             timeout = _WAIT_SLICE_S
             if self.timeout_s is not None:
                 now = time.monotonic()
@@ -418,9 +451,14 @@ class ParallelRunner:
                     started + self.timeout_s
                     for _, _, started in running.values())
                 timeout = min(timeout, max(0.0, next_deadline - now))
-            done, _ = wait(set(running), timeout=timeout,
+            done, _ = wait(set(running) | zombies, timeout=timeout,
                            return_when=FIRST_COMPLETED)
             for future in done:
+                if future in zombies:
+                    # Its outcome (timeout) is already recorded; the
+                    # worker merely came back — capacity returns.
+                    zombies.discard(future)
+                    continue
                 index, job, started = running.pop(future)
                 wall_s = time.monotonic() - started
                 try:
@@ -445,17 +483,25 @@ class ParallelRunner:
                 continue
             now = time.monotonic()
             for future, (index, job, started) in list(running.items()):
-                if now - started < self.timeout_s:
-                    continue
+                if now - started < self.timeout_s or future.done():
+                    continue  # done futures collect on the next pass
                 running.pop(future)
-                if not future.cancel():
-                    hung_worker = True
+                if future.cancel():
+                    # Rare race: the pool never picked it up.  Queue
+                    # wait is not execution — hand it back with a
+                    # fresh clock, no attempt consumed.
+                    to_submit.append((index, job))
+                    continue
+                # Uncancellable: genuinely executing past its deadline.
+                # Flag before _handle_failure, which may raise (strict
+                # mode, failure budget) — shutdown must see the flag.
+                self._hung_worker = True
+                zombies.add(future)
                 self._handle_failure(
                     index, job, attempts, retry_queue,
                     TimeoutError(f"no result within {self.timeout_s}s"),
                     crashed=False, fingerprints=fingerprints,
                     results=results)
-        return hung_worker
 
     def _handle_failure(self, index: int, job: Job, attempts: dict,
                         retry_queue: list, cause: BaseException,

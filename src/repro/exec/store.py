@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -43,6 +44,12 @@ QUARANTINE_DIR = "quarantine"
 
 #: Fingerprints are lowercase hex digests (SHA-256 in practice).
 _FINGERPRINT_RE = re.compile(r"[0-9a-f]{8,128}")
+
+#: :meth:`ResultStore.gc` leaves ``*.tmp`` files younger than this
+#: alone — a fresh one may be a concurrent sweep's in-flight
+#: ``write_json_atomic`` temp file, and unlinking it between write and
+#: ``os.replace`` would make that sweep's ``put()`` raise.
+TMP_GRACE_S = 3600.0
 
 
 def payload_checksum(payload: dict) -> str:
@@ -226,13 +233,18 @@ class ResultStore:
         report["quarantined"] = self.quarantine_events - before
         return report
 
-    def gc(self) -> dict:
+    def gc(self, tmp_grace_s: Optional[float] = None) -> dict:
         """Reclaim space: purge quarantine, temp debris, empty shards.
 
         Returns ``{"removed", "bytes"}``.  Valid entries are never
         touched — quarantined files have been reported by ``verify``
-        (or at ``get`` time) before they can be collected here.
+        (or at ``get`` time) before they can be collected here.  Temp
+        files younger than ``tmp_grace_s`` (default
+        :data:`TMP_GRACE_S`) are also left alone: they may belong to a
+        sweep that is writing the store concurrently.
         """
+        grace = TMP_GRACE_S if tmp_grace_s is None else tmp_grace_s
+        now = time.time()
         removed = 0
         freed = 0
         if self.quarantine_root.is_dir():
@@ -251,12 +263,14 @@ class ResultStore:
         if self.root.is_dir():
             for stray in sorted(self.root.rglob("*.tmp")):
                 try:
-                    size = stray.stat().st_size
+                    info = stray.stat()
+                    if now - info.st_mtime < grace:
+                        continue  # possibly a live writer's temp file
                     stray.unlink()
                 except OSError:  # pragma: no cover - raced removal
                     continue
                 removed += 1
-                freed += size
+                freed += info.st_size
             for shard in sorted(self.root.iterdir()):
                 if shard.is_dir() and not any(shard.iterdir()):
                     try:

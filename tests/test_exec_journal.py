@@ -104,6 +104,34 @@ def test_appends_are_flushed_per_line(tmp_path):
     assert json.loads(lines[0])["kind"] == "sweep"
 
 
+def test_journal_write_failure_degrades_not_aborts(tmp_path, capsys):
+    # Regression: a transient journal OSError on the completion hot
+    # path used to abort the whole sweep — the opposite of the
+    # failure-isolation the journal exists to support.
+    obstacle = tmp_path / "not-a-dir"
+    obstacle.write_text("file where the journal's parent should be")
+    journal = SweepJournal(obstacle / "journal.jsonl")
+    journal.begin("s" * 64, total=1)  # does not raise
+    assert journal.broken
+    journal.record_done("11" * 32, "a/pbe", wall_s=1.0)  # no-op, no raise
+    assert "journal write" in capsys.readouterr().err
+    assert journal.replay().done == set()
+
+
+def test_broken_journal_does_not_abort_the_sweep(tmp_path, capsys):
+    store = ResultStore(tmp_path / "cache")
+    obstacle = tmp_path / "blocked"
+    obstacle.write_text("")
+    runner = ParallelRunner(
+        jobs=1, store=store,
+        journal=SweepJournal(obstacle / "journal.jsonl"))
+    [payload] = runner.run([Job(tiny_scenario(seed=1), "bbr")])
+    assert not is_failure(payload)      # sweep completed journal-less
+    assert len(store) == 1              # payload still persisted
+    assert runner.journal.broken
+    capsys.readouterr()
+
+
 # ---------------------------------------------------------------------
 # Runner integration: make_runner journals beside the cache by default.
 def test_runner_journals_outcomes(tmp_path):
@@ -155,6 +183,22 @@ def test_resume_reexecutes_only_failures(tmp_path):
 
     state = SweepJournal(tmp_path / JOURNAL_NAME).replay()
     assert len(state.done) == 1 and len(state.failed) == 1
+
+
+def test_strict_abort_finalizes_stats_and_journal(tmp_path):
+    # Regression: a strict-mode job exception used to skip _finish and
+    # the journal end marker — replay() reported ended=None and
+    # stats.wall_s stayed 0 for a run that actually aborted.
+    runner = make_runner(jobs=1, cache_dir=tmp_path, strict=True)
+    jobs = [Job(tiny_scenario(seed=1), "bbr"),
+            Job(tiny_scenario(seed=2), "warp-drive"),
+            Job(tiny_scenario(seed=3), "bbr")]
+    with pytest.raises(ValueError):
+        runner.run(jobs)
+    assert runner.stats.wall_s > 0
+    state = SweepJournal(tmp_path / JOURNAL_NAME).replay()
+    assert state.ended == "aborted"
+    assert state.done == {jobs[0].fingerprint()}  # recorded pre-abort
 
 
 def test_explicit_journal_object(tmp_path):

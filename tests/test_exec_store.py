@@ -153,6 +153,10 @@ def test_gc_reclaims_quarantine_and_debris(tmp_path):
     assert store.get(FP2) is None  # -> quarantine
     stray = tmp_path / "ab" / ".x.json.123.tmp"
     stray.write_text("debris")
+    # age the stray past the grace window: gc treats *young* tmp files
+    # as possibly-live atomic writes and leaves them alone
+    old = 1_000_000.0
+    os.utime(stray, (old, old))
 
     out = store.gc()
     assert out["removed"] >= 3  # entry + quarantine log + stray tmp
@@ -160,6 +164,25 @@ def test_gc_reclaims_quarantine_and_debris(tmp_path):
     assert not store.quarantine_root.exists()
     assert not stray.exists()
     assert store.get(FP) == {"keep": True}  # valid entries untouched
+
+
+def test_gc_spares_fresh_tmp_of_a_concurrent_writer(tmp_path):
+    # Regression: gc used to unlink every *.tmp unconditionally, so a
+    # concurrent sweep's in-flight write_json_atomic temp file could
+    # vanish between write and os.replace, killing that sweep's put().
+    store = ResultStore(tmp_path)
+    live = tmp_path / "ab" / f".{FP}.json.777.tmp"
+    live.parent.mkdir(parents=True)
+    live.write_text('{"half": "written"}')  # mtime = now
+
+    out = store.gc()
+    assert live.exists()  # inside the grace window: untouched
+    assert out["removed"] == 0
+    # an explicit zero grace (operator knows no sweep is running)
+    # reclaims it
+    out = store.gc(tmp_grace_s=0.0)
+    assert not live.exists()
+    assert out["removed"] == 1
 
 
 def test_discard_missing_is_fine(tmp_path):

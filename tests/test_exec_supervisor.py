@@ -120,6 +120,50 @@ def test_concurrent_deadline_detection_is_o_timeout():
     assert wall < k * timeout_s + 2.0
 
 
+def test_queue_wait_does_not_count_against_the_deadline():
+    # Regression: with pending > workers all jobs were submitted at
+    # once and the deadline clock started at submission, so jobs that
+    # merely *queued* behind a full pool were popped as spurious
+    # timeouts.  Queue wait must not consume attempts or fail jobs.
+    if not pool_works():
+        pytest.skip("no working process pool on this platform")
+    from repro.exec.worker import execute_job
+    probe = Job(tiny_scenario(seed=50, duration_s=4.0), "bbr")
+    t0 = time.monotonic()
+    execute_job(probe)
+    per_job = time.monotonic() - t0
+    # one worker, six jobs: the last queues ~5 job-lengths, far past a
+    # deadline that still gives an *executing* job 2.5x headroom
+    timeout_s = max(0.5, 2.5 * per_job)
+    runner = ParallelRunner(jobs=1, timeout_s=timeout_s, retries=0)
+    jobs = [Job(tiny_scenario(seed=s, duration_s=4.0), "bbr")
+            for s in range(51, 57)]
+    results = runner.run(jobs)
+    assert not any(is_failure(r) for r in results)
+    assert runner.stats.executed == 6
+    assert runner.stats.failed == 0
+    assert runner.stats.retries == 0
+
+
+def test_strict_timeout_does_not_join_a_hung_worker():
+    # Regression: when _collect raised (strict JobExecutionError) its
+    # hung-worker flag was lost and shutdown(wait=True) joined the
+    # still-running worker — wedging the sweep for the full job length.
+    if not pool_works():
+        pytest.skip("no working process pool on this platform")
+    from repro.exec.runner import JobExecutionError
+    runner = ParallelRunner(jobs=2, timeout_s=0.3, retries=0,
+                            strict=True)
+    jobs = [Job(tiny_scenario(seed=s, duration_s=30.0), "bbr")
+            for s in (60, 61)]
+    t0 = time.monotonic()
+    with pytest.raises(JobExecutionError):
+        runner.run(jobs)
+    # nowhere near the ~4s (duration 30) the hung join would cost
+    assert time.monotonic() - t0 < 3.0
+    assert runner.stats.wall_s > 0  # finalized despite the abort
+
+
 # ---------------------------------------------------------------------
 # Backoff: exponential, capped, deterministically jittered.
 def test_backoff_is_deterministic_and_exponential():
