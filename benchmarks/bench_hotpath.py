@@ -1,0 +1,83 @@
+"""Hot-path microbenchmarks (scheduler, estimator, subframe loop).
+
+Complements the figure/table benches: these time the three measured
+hot paths directly, so a regression in one of them is attributable
+before it shows up as a slower sweep.  ``python -m repro perf`` runs
+the same bodies outside pytest and records them to
+``BENCH_hotpath.json``.
+"""
+
+from repro.cell.scheduler import DemandEntry, allocate_prbs
+from repro.monitor.capacity import CellCapacityEstimator
+from repro.perf import PerfCounters
+from repro.perf.bench import (
+    _bench_estimator,
+    _bench_scheduler,
+    _bench_subframe_loop,
+)
+from repro.phy.dci import DciMessage, SubframeRecord
+
+
+def test_scheduler_waterfill(benchmark):
+    demands = (
+        [DemandEntry(rnti=i, demand_bits=4_000, bits_per_prb=400)
+         for i in range(4)]
+        + [DemandEntry(rnti=100 + i, demand_bits=10**7,
+                       bits_per_prb=500 + 37 * i)
+           for i in range(8)])
+
+    def body():
+        for rotation in range(100):
+            allocate_prbs(100, demands, rotation=rotation)
+
+    benchmark(body)
+
+
+def test_estimator_window(benchmark):
+    est = CellCapacityEstimator(cell_id=0, total_prbs=100, own_rnti=1)
+    for sf in range(500):
+        record = SubframeRecord(sf, 0, 100)
+        record.messages.append(
+            DciMessage(sf, 0, 1, 20, 15, 2, tbs_bits=10_000))
+        record.messages.append(
+            DciMessage(sf, 0, 7, 30, 12, 1, tbs_bits=9_000))
+        est.update(record, own_rate_hint=500, ber_hint=1e-5)
+
+    def body():
+        # Fresh estimate (memo miss) then the hit pattern.
+        est._memo.clear()
+        for window in (40, 40, 80, 80, 400):
+            est.estimate(window)
+
+    benchmark(body)
+
+
+def test_subframe_loop_ticks(benchmark):
+    result = benchmark.pedantic(
+        _bench_subframe_loop, kwargs={"duration_s": 2.0},
+        rounds=1, iterations=1)
+    print(f"\nsubframe loop: {result['ticks_per_s']:,.0f} ticks/s")
+    assert result["ticks"] >= 2_000
+
+
+def test_bench_suite_bodies(benchmark):
+    """The repro.perf.bench micro bodies, as one smoke unit."""
+
+    def body():
+        _bench_estimator(200)
+        _bench_scheduler(200)
+
+    benchmark(body)
+
+
+def test_perf_counters_overhead(benchmark):
+    """Counter attachment must stay cheap (its design constraint)."""
+    perf = PerfCounters()
+
+    def body():
+        for _ in range(1_000):
+            perf.ticks += 1
+            perf.events_popped += 1
+        return perf.ticks
+
+    benchmark(body)

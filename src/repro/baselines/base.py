@@ -120,6 +120,12 @@ class Sender(Receiver):
         #: can resume sending immediately without breaking pacing.
         self._pacing_active = False
         self._rto_event: Optional[Event] = None
+        #: Absolute time the retransmission timeout should fire.  The
+        #: queued event is reused lazily: every ACK pushes the deadline
+        #: forward, and a stale firing just re-arms for the remainder,
+        #: instead of a cancel + reschedule per ACK (which used to be
+        #: the simulator heap's single biggest churn source).
+        self._rto_deadline_us = 0
         #: Hook: called with each ACK after CC processing (telemetry).
         self.on_ack_hook: Optional[Callable[[Packet], None]] = None
 
@@ -271,16 +277,25 @@ class Sender(Receiver):
         return max(MIN_RTO_US, 4 * self.srtt_us)
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
         if not self._outstanding or not self._running:
+            if self._rto_event is not None:
+                self._rto_event.cancel()
+                self._rto_event = None
             return
-        self._rto_event = self.sim.schedule(self._rto_us(), self._on_rto)
+        self._rto_deadline_us = self.sim.now + self._rto_us()
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(self._rto_us(),
+                                                self._on_rto)
 
     def _on_rto(self) -> None:
         self._rto_event = None
         if not self._outstanding:
+            return
+        remaining = self._rto_deadline_us - self.sim.now
+        if remaining > 0:
+            # The deadline moved forward since this event was queued
+            # (ACKs arrived); sleep out the remainder.
+            self._rto_event = self.sim.schedule(remaining, self._on_rto)
             return
         self.timeouts += 1
         self.lost_packets += len(self._outstanding)

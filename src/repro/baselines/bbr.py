@@ -61,6 +61,12 @@ class Bbr(CongestionControl):
         self._btlbw = WindowedMax(US_PER_S)  # window retuned per RTT
         self._rtprop = WindowedMin(RTPROP_WINDOW_US)
         self._rtprop_stamp = 0
+        # Cached filter outputs.  Both filters only change inside
+        # on_ack(), so these attributes — refreshed there — are always
+        # equal to the filter reads they replace; every other method
+        # (and external readers like the PBE sender) hits the cache.
+        self.btlbw_bps = 0.0
+        self.rtprop_us = 0
 
         self._round_start_delivered = 0
         self._delivered_bits = 0
@@ -78,15 +84,6 @@ class Bbr(CongestionControl):
     # ------------------------------------------------------------------
     # Filters
     # ------------------------------------------------------------------
-    @property
-    def btlbw_bps(self) -> float:
-        return self._btlbw.get() or 0.0
-
-    @property
-    def rtprop_us(self) -> int:
-        value = self._rtprop.get()
-        return int(value) if value else 0
-
     def bdp_bits(self, gain: float = 1.0) -> float:
         if not self.btlbw_bps or not self.rtprop_us:
             return gain * 10 * self.mss_bits
@@ -102,6 +99,8 @@ class Bbr(CongestionControl):
         if ctx.rtt_us > 0:
             previous_min = self._rtprop.get()
             self._rtprop.update(now, ctx.rtt_us)
+            value = self._rtprop.get()
+            self.rtprop_us = int(value) if value else 0
             # The staleness stamp refreshes only when the minimum itself
             # is refreshed — otherwise PROBE_RTT could never trigger.
             if previous_min is None or ctx.rtt_us <= previous_min:
@@ -110,6 +109,7 @@ class Bbr(CongestionControl):
         self._btlbw.window_us = BTLBW_FILTER_ROUNDS * rtprop
         if ctx.delivery_rate_bps > 0 and not ctx.app_limited:
             self._btlbw.update(now, ctx.delivery_rate_bps)
+            self.btlbw_bps = self._btlbw.get() or 0.0
 
         # Round accounting: one round per RTprop worth of delivered data.
         round_ended = (self._delivered_bits - self._round_start_delivered

@@ -15,8 +15,9 @@ Once per subframe (1 ms) it runs, for every component carrier:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -84,6 +85,7 @@ class _User:
     __slots__ = (
         "rnti", "agg", "channel", "category", "queue", "ue", "tb_seq",
         "demand_source", "sinr_db", "current_mcs", "current_streams",
+        "rate_now", "active_cell_set", "active_prb_total",
         "allocated_history", "exo_packet_seq", "suspended_until",
         "_sinr_history",
     )
@@ -102,6 +104,12 @@ class _User:
         self.sinr_db = 0.0
         self.current_mcs = 0
         self.current_streams = 1
+        self.rate_now = bits_per_prb(0, 1)
+        #: Cached views of ``agg.active_cells`` (membership set, PRB
+        #: total) — refreshed by the network whenever aggregation
+        #: changes, so the per-subframe loops avoid rebuilding them.
+        self.active_cell_set: set[int] = set()
+        self.active_prb_total = 0
         #: Optional per-subframe ``(subframe, cell_id, prbs)`` log.
         self.allocated_history: Optional[list] = None
         self.exo_packet_seq = 0
@@ -132,10 +140,12 @@ class _User:
             self.current_streams = self.category.max_streams
         else:
             self.current_streams = 1
+        self.rate_now = bits_per_prb(self.current_mcs,
+                                     self.current_streams)
 
     @property
     def bits_per_prb_now(self) -> int:
-        return bits_per_prb(self.current_mcs, self.current_streams)
+        return self.rate_now
 
 
 class _Ingress(Receiver):
@@ -157,7 +167,8 @@ class CellularNetwork:
                  control_arrivals_per_subframe: float = 0.0,
                  scheduler_policy: str = "equal",
                  cqi_delay_subframes: int = 0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 perf_counters: Optional[Any] = None) -> None:
         if cqi_delay_subframes < 0:
             raise ValueError("CQI delay must be non-negative")
         if not carriers:
@@ -169,9 +180,16 @@ class CellularNetwork:
         self.scheduler_policy = scheduler_policy
         self.cqi_delay_subframes = cqi_delay_subframes
         self.carriers = {c.cell_id: c for c in carriers}
+        #: ``cell_id -> PRBs`` (``CarrierConfig.total_prbs`` is a
+        #: computed property; the subframe loop reads this dict instead).
+        self._prbs_by_cell = {c.cell_id: c.total_prbs for c in carriers}
         self.ca = CarrierAggregationManager(ca_policy)
         self._rng = np.random.default_rng(seed)
         self._users: dict[int, _User] = {}
+        #: Cached ``list(self._users.values())`` for the tick loop;
+        #: invalidated (set to None) on attach/detach.
+        self._user_list: Optional[list[_User]] = None
+        self.perf = perf_counters
         self.subframe = 0
         self._retx: dict[tuple[int, int], list[_HarqState]] = {}
         self._monitors: dict[int, list[Callable[[SubframeRecord], None]]] = {
@@ -228,11 +246,21 @@ class CellularNetwork:
                      channel, category or UeCategory(),
                      DownlinkQueue(queue_packets), ue)
         self._users[rnti] = user
+        self._user_list = None
+        self._refresh_active_cells(user)
         return user
 
     def remove_user(self, rnti: int) -> None:
         """Detach a user (its queued traffic is discarded)."""
-        self._users.pop(rnti, None)
+        if self._users.pop(rnti, None) is not None:
+            self._user_list = None
+
+    def _refresh_active_cells(self, user: _User) -> None:
+        """Rebuild the user's cached active-cell set and PRB total."""
+        cells = user.agg.active_cells
+        user.active_cell_set = set(cells)
+        prbs = self._prbs_by_cell
+        user.active_prb_total = sum(prbs[c] for c in cells)
 
     #: Default handover interruption (scheduling gap), subframes.  LTE
     #: X2 handovers typically interrupt the user plane for 30-50 ms.
@@ -281,6 +309,7 @@ class CellularNetwork:
         user.suspended_until = self.subframe + interruption_subframes
         if channel is not None:
             user.channel = channel
+        self._refresh_active_cells(user)
         # The new cell group starts its CA bookkeeping from scratch.
         self.ca._users.pop(rnti, None)
 
@@ -331,11 +360,17 @@ class CellularNetwork:
         self.sim.schedule(0, self._tick)
 
     def _tick(self) -> None:
+        perf = self.perf
+        t0 = time.perf_counter() \
+            if perf is not None and perf.time_subsystems else 0.0
         now = self.sim.now
         subframe = self.subframe
-        users = list(self._users.values())
+        users = self._user_list
+        if users is None:
+            users = self._user_list = list(self._users.values())
+        cqi_delay = self.cqi_delay_subframes
         for user in users:
-            user.refresh_channel(now, self.cqi_delay_subframes)
+            user.refresh_channel(now, cqi_delay)
             if user.demand_source is not None:
                 self._inject_exogenous(user, subframe)
 
@@ -343,17 +378,23 @@ class CellularNetwork:
         for cell_id, carrier in self.carriers.items():
             self._tick_cell(cell_id, carrier, subframe, used_by_user)
 
+        observe = self.ca.observe
+        used_get = used_by_user.get
         for user in users:
-            total = sum(self.carriers[c].total_prbs
-                        for c in user.agg.active_cells)
-            self.ca.observe(
+            switched = observe(
                 subframe, user.rnti, user.agg,
-                used_prbs=used_by_user.get(user.rnti, 0),
-                active_total_prbs=total,
+                used_prbs=used_get(user.rnti, 0),
+                active_total_prbs=user.active_prb_total,
                 backlogged=not user.queue.empty)
+            if switched is not None:
+                self._refresh_active_cells(user)
 
         self.subframe += 1
         self.sim.schedule(SUBFRAME_US, self._tick)
+        if perf is not None:
+            perf.ticks += 1
+            if perf.time_subsystems:
+                perf.add_time("net.tick", time.perf_counter() - t0)
 
     def _inject_exogenous(self, user: _User, subframe: int) -> None:
         bits = user.demand_source.bits(subframe)
@@ -397,13 +438,16 @@ class CellularNetwork:
 
         # 3. Equal-share allocation over backlogged data users.
         demands = []
-        for user in self._users.values():
-            if cell_id not in user.agg.active_cells:
+        users = self._user_list
+        if users is None:
+            users = self._user_list = list(self._users.values())
+        for user in users:
+            if cell_id not in user.active_cell_set:
                 continue
             if user.queue.empty or subframe < user.suspended_until:
                 continue
             demands.append(DemandEntry(user.rnti, user.queue.backlog_bits,
-                                       user.bits_per_prb_now))
+                                       user.rate_now))
         grants = allocate_prbs(available, demands, rotation=subframe,
                                policy=self.scheduler_policy,
                                pf_state=self._pf.get(cell_id))
@@ -415,7 +459,7 @@ class CellularNetwork:
             tb = TransportBlock(
                 seq=user.tb_seq, rnti=rnti, cell_id=cell_id,
                 subframe=subframe,
-                bits=n_prbs * user.bits_per_prb_now, n_prbs=n_prbs,
+                bits=n_prbs * user.rate_now, n_prbs=n_prbs,
                 mcs=user.current_mcs,
                 spatial_streams=user.current_streams)
             user.tb_seq += 1
@@ -432,13 +476,22 @@ class CellularNetwork:
                 user.allocated_history.append((subframe, cell_id, n_prbs))
 
         if cell_id in self._pf:
-            attached = {u.rnti for u in self._users.values()
-                        if cell_id in u.agg.active_cells}
+            attached = {u.rnti for u in users
+                        if cell_id in u.active_cell_set}
             self._pf[cell_id].record(served_bits, attached)
 
         # 5. Publish the decoded control channel.
-        for callback in self._monitors[cell_id]:
-            callback(record)
+        callbacks = self._monitors[cell_id]
+        if callbacks:
+            perf = self.perf
+            if perf is not None and perf.time_subsystems:
+                t0 = time.perf_counter()
+                for callback in callbacks:
+                    callback(record)
+                perf.add_time("monitor.feed", time.perf_counter() - t0)
+            else:
+                for callback in callbacks:
+                    callback(record)
 
     def _transmit(self, harq: _HarqState, record: SubframeRecord,
                   used_by_user: dict[int, int]) -> None:

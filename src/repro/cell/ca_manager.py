@@ -51,7 +51,14 @@ class CaPolicy:
 
 @dataclass
 class _UserCaState:
-    history: deque = field(default_factory=deque)  # (used_prbs, backlogged)
+    history: deque = field(default_factory=deque)  # (used, total, backlogged)
+    #: Rolling sums over ``history`` — maintained incrementally so the
+    #: per-subframe observe() stays O(1) instead of re-summing the
+    #: whole window.  Integer arithmetic keeps them exactly equal to
+    #: ``sum(h[i] for h in history)``.
+    used_sum: int = 0
+    total_sum: int = 0
+    backlog_frames: int = 0
     under_utilized_run: int = 0
     last_switch_subframe: int = -10**9
     activations: int = 0
@@ -86,17 +93,25 @@ class CarrierAggregationManager:
         policy = self.policy
         state = self.state_for(rnti)
         state.history.append((used_prbs, active_total_prbs, backlogged))
+        state.used_sum += used_prbs
+        state.total_sum += active_total_prbs
+        if backlogged:
+            state.backlog_frames += 1
         if len(state.history) > policy.window:
-            state.history.popleft()
+            old_used, old_total, old_backlogged = state.history.popleft()
+            state.used_sum -= old_used
+            state.total_sum -= old_total
+            if old_backlogged:
+                state.backlog_frames -= 1
 
         if subframe - state.last_switch_subframe < policy.cooldown:
             return None
         if len(state.history) < policy.window:
             return None
 
-        used = sum(h[0] for h in state.history)
-        total = sum(h[1] for h in state.history)
-        backlog_frames = sum(1 for h in state.history if h[2])
+        used = state.used_sum
+        total = state.total_sum
+        backlog_frames = state.backlog_frames
         fraction = used / total if total else 0.0
 
         if (agg.can_activate and fraction >= policy.activation_fraction

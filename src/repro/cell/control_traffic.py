@@ -68,12 +68,18 @@ class ControlTrafficGenerator:
     def tick(self) -> list[ControlBurst]:
         """Advance one subframe; return the bursts active this subframe."""
         n_new = self._rng.poisson(self.arrivals_per_subframe)
-        for _ in range(n_new):
-            row = _PROFILE[self._rng.choice(len(_PROFILE), p=_PROBS)]
-            self._active.append(
-                ControlBurst(self._next_rnti, prbs=row[1],
-                             remaining_subframes=row[2]))
-            self._next_rnti += 1
+        if n_new:
+            for _ in range(n_new):
+                row = _PROFILE[self._rng.choice(len(_PROFILE), p=_PROBS)]
+                self._active.append(
+                    ControlBurst(self._next_rnti, prbs=row[1],
+                                 remaining_subframes=row[2]))
+                self._next_rnti += 1
+        elif not self._active:
+            # Idle-cell fast path: no arrivals, nothing in flight.  The
+            # Poisson draw above still happens unconditionally, keeping
+            # the RNG stream (and so the burst timeline) unchanged.
+            return self._active
         current = list(self._active)
         for burst in current:
             burst.remaining_subframes -= 1

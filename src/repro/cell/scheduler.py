@@ -12,7 +12,16 @@ observable behaviour:
 3. Remaining PRBs are split between backlogged data users by
    water-filling: users whose demand is below the equal share get what
    they need, and the freed PRBs are re-split among the rest.  A
-   rotating remainder keeps long-run shares exactly equal.
+   rotating remainder keeps long-run shares exactly equal, and the
+   remainder rounds repeat until every backlogged user is satisfied or
+   the PRBs run out — a grant capped by a user's demand (or lost to
+   integer truncation of the weighted shares) is redistributed, never
+   dropped, which is what the §6.4 equal-share invariant (and the
+   monitor's Eqn. 3 idle-PRB accounting) requires.
+
+This function runs once per carrier per subframe — it is one of the
+measured hot paths — so demands and weights are materialized once per
+call instead of being recomputed every water-filling round.
 """
 
 from __future__ import annotations
@@ -55,6 +64,13 @@ class ProportionalFairState:
     current achievable rate over an exponentially averaged history of
     served throughput — so users on channel upswings get scheduled and
     long-starved users age upward in priority.
+
+    State is bounded: an RNTI that stays absent from ``known_rntis``
+    for a full time constant is evicted, so day-long runs with user
+    churn (Fig. 11's diurnal traces) do not grow without bound.  An
+    evicted user that later returns starts over at the never-served
+    priority, which is also what a real scheduler would do after the
+    RNTI is released.
     """
 
     def __init__(self, time_constant_subframes: int = 100) -> None:
@@ -63,6 +79,9 @@ class ProportionalFairState:
         self.time_constant = time_constant_subframes
         #: rnti -> served-throughput EWMA, bits per subframe.
         self._throughput: dict[int, float] = {}
+        #: rnti -> index of the last record() that saw it attached.
+        self._seen_at: dict[int, int] = {}
+        self._records = 0
 
     def weight(self, demand: "DemandEntry") -> float:
         served = self._throughput.get(demand.rnti, 0.0)
@@ -74,10 +93,27 @@ class ProportionalFairState:
                known_rntis: set[int]) -> None:
         """Fold one subframe's served bits into the averages."""
         alpha = 1.0 / self.time_constant
+        self._records += 1
+        now = self._records
+        throughput = self._throughput
+        seen_at = self._seen_at
         for rnti in known_rntis | set(served_bits):
-            old = self._throughput.get(rnti, 0.0)
-            self._throughput[rnti] = ((1 - alpha) * old
-                                      + alpha * served_bits.get(rnti, 0))
+            old = throughput.get(rnti, 0.0)
+            throughput[rnti] = ((1 - alpha) * old
+                                + alpha * served_bits.get(rnti, 0))
+            seen_at[rnti] = now
+        # Amortized eviction sweep: once per time constant, drop every
+        # RNTI that has been detached for at least a full time constant.
+        if now % self.time_constant == 0 and len(seen_at) > len(known_rntis):
+            cutoff = now - self.time_constant
+            for rnti in [r for r, last in seen_at.items()
+                         if last <= cutoff]:
+                del seen_at[rnti]
+                del throughput[rnti]
+
+    def tracked_users(self) -> int:
+        """How many RNTIs currently hold EWMA state (bound tests)."""
+        return len(self._throughput)
 
     def throughput_of(self, rnti: int) -> float:
         return self._throughput.get(rnti, 0.0)
@@ -105,41 +141,78 @@ def allocate_prbs(available_prbs: int, demands: list[DemandEntry],
     grants: dict[int, int] = {}
     pending = [d for d in demands if d.demand_prbs > 0]
     remaining = available_prbs
+    if not pending or remaining == 0:
+        return grants
 
-    def weight(d: DemandEntry) -> float:
-        if policy == "equal":
-            return 1.0
-        if policy == "proportional_fair":
-            return max(1e-9, pf_state.weight(d))
-        # equal_rate: PRB share inversely proportional to per-PRB rate.
-        return 1.0 / max(1, d.bits_per_prb)
+    # Materialize per-user demand and weight once: both are pure
+    # functions of the entry (and the frozen pf_state), and the old
+    # per-round recomputation was the dominant cost here.  ``equal``
+    # keeps weights as None so its total weight is the exact float the
+    # per-entry summation used to produce (sum of 1.0s == float(n)).
+    demand_prbs = [d.demand_prbs for d in pending]
+    if policy == "equal":
+        weights = None
+    elif policy == "proportional_fair":
+        weights = [max(1e-9, pf_state.weight(d)) for d in pending]
+    else:  # equal_rate: share inversely proportional to per-PRB rate.
+        weights = [1.0 / max(1, d.bits_per_prb) for d in pending]
+
+    #: Indices (into ``pending``) of users still below their demand.
+    active = list(range(len(pending)))
 
     # Water-filling: repeatedly satisfy users below their weighted
     # share, redistributing what they do not need.
-    while pending and remaining > 0:
-        total_weight = sum(weight(d) for d in pending)
-        satisfied = [
-            d for d in pending
-            if d.demand_prbs <= remaining * weight(d) / total_weight]
+    while active and remaining > 0:
+        if weights is None:
+            total_weight = float(len(active))
+            satisfied = [i for i in active
+                         if demand_prbs[i]
+                         <= remaining * 1.0 / total_weight]
+        else:
+            total_weight = sum(weights[i] for i in active)
+            satisfied = [i for i in active
+                         if demand_prbs[i]
+                         <= remaining * weights[i] / total_weight]
         if not satisfied:
             break
-        for d in satisfied:
-            grants[d.rnti] = d.demand_prbs
-            remaining -= d.demand_prbs
-        pending = [d for d in pending if d not in satisfied]
+        for i in satisfied:
+            grants[pending[i].rnti] = demand_prbs[i]
+            remaining -= demand_prbs[i]
+        done = set(satisfied)
+        active = [i for i in active if i not in done]
 
-    if pending and remaining > 0:
-        total_weight = sum(weight(d) for d in pending)
-        shares = [int(remaining * weight(d) / total_weight)
-                  for d in pending]
+    # Remainder rounds: split what is left proportionally among the
+    # still-backlogged users, rotating the integer-division extras.
+    # One round used to be enough in theory, but a grant capped by the
+    # user's remaining demand — or extras lost when float truncation
+    # of the shares leaves more leftover PRBs than users — must be
+    # redistributed, so the round repeats until nothing moves.
+    granted = [0] * len(pending)
+    while active and remaining > 0:
+        n = len(active)
+        if weights is None:
+            total_weight = float(n)
+            shares = [int(remaining * 1.0 / total_weight)
+                      for _ in active]
+        else:
+            total_weight = sum(weights[i] for i in active)
+            shares = [int(remaining * weights[i] / total_weight)
+                      for i in active]
         leftover = remaining - sum(shares)
-        order = sorted(range(len(pending)),
-                       key=lambda i: (i + rotation) % len(pending))
-        for rank, i in enumerate(order):
+        order = sorted(range(n), key=lambda k: (k + rotation) % n)
+        progress = 0
+        for rank, k in enumerate(order):
+            i = active[k]
             extra = 1 if rank < leftover else 0
-            grant = min(shares[i] + extra, pending[i].demand_prbs)
+            room = demand_prbs[i] - granted[i]
+            grant = min(shares[k] + extra, room)
             if grant > 0:
-                grants[pending[i].rnti] = grant
+                granted[i] += grant
+                grants[pending[i].rnti] = granted[i]
                 remaining -= grant
+                progress += grant
+        if progress == 0:
+            break  # nothing movable (all shares truncated to zero)
+        active = [i for i in active if granted[i] < demand_prbs[i]]
 
     return grants

@@ -11,6 +11,8 @@ Commands
                grid with graceful-degradation telemetry
 ``cache``      audit the result cache: ``verify`` (scan, checksum,
                quarantine) or ``gc`` (reclaim quarantined/temp space)
+``perf``       hot-path benchmark suite; writes ``BENCH_hotpath.json``
+               (``--smoke`` for the CI-sized run)
 ``list``       list schemes and experiments
 
 Multi-run commands (``experiment`` sweeps, ``sweep``) accept ``--jobs
@@ -38,6 +40,7 @@ Examples
     python -m repro resilience --smoke
     python -m repro sweep --jobs 8 --cache-dir .repro-cache --resume
     python -m repro cache verify --cache-dir .repro-cache
+    python -m repro perf --smoke --out BENCH_hotpath.json
 """
 
 from __future__ import annotations
@@ -313,6 +316,39 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """``repro perf``: run the hot-path benchmark suite."""
+    from .perf.bench import run_benchmarks
+    doc = run_benchmarks(smoke=args.smoke, progress=sys.stderr)
+    benches = doc["benches"]
+    loop = benches["subframe_loop"]
+    rows = [
+        ["estimator", benches["estimator"]["wall_s"],
+         f'{benches["estimator"]["estimates_per_s"]:,.0f} estimates/s'],
+        ["scheduler", benches["scheduler"]["wall_s"],
+         f'{benches["scheduler"]["calls_per_s"]:,.0f} allocations/s'],
+        ["subframe_loop", loop["wall_s"],
+         f'{loop["ticks_per_s"]:,.0f} ticks/s '
+         f'({loop["sim_s"]:g} sim-s)'],
+        ["sweep", benches["sweep"]["wall_s"],
+         f'{benches["sweep"]["entries"]} runs '
+         f'x {benches["sweep"]["flow_s"]:g} s flows'],
+    ]
+    print(format_table(["bench", "wall (s)", "rate"], rows,
+                       title="Hot-path benchmarks "
+                             f"({'smoke' if doc['smoke'] else 'full'})"))
+    counters = loop["counters"]
+    print(f"loop counters: events={counters['events_popped']} "
+          f"cancelled_ratio={counters['cancelled_event_ratio']} "
+          f"compactions={counters['heap_compactions']}",
+          file=sys.stderr)
+    if args.out:
+        from .harness.serialize import write_json_atomic
+        write_json_atomic(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """``repro list``: show available schemes and experiments."""
     print("schemes:     " + ", ".join(sorted(SCHEMES)))
@@ -456,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "legacy entries into the checksummed "
                               "envelope")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_perf = sub.add_parser(
+        "perf", help="run the hot-path benchmark suite")
+    p_perf.add_argument("--smoke", action="store_true",
+                        help="CI-sized benchmarks (seconds, not minutes)")
+    p_perf.add_argument("--out", default=None, metavar="FILE",
+                        help="write the BENCH_hotpath.json document here")
+    p_perf.set_defaults(func=cmd_perf)
 
     p_list = sub.add_parser("list", help="list schemes and experiments")
     p_list.set_defaults(func=cmd_list)

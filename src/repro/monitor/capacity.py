@@ -14,11 +14,19 @@ allocated PRBs, ``Pidle`` the cell's unallocated PRBs (counting *all*
 users, Eqn. 4) and ``N`` the filtered data-user count.  All terms are
 averaged over the most recent RTprop worth of subframes (§4.2.1) to
 smooth the estimate.
+
+``estimate()`` is called for every capacity feedback — a measured hot
+path — so the sliding-window averages are served from ring buffers
+with O(1) rolling integer sums instead of copying the sample deque and
+re-summing the window on every call.  The integer fields (PRBs, rate)
+use prefix-sum differences, which are exact; the float BER field is
+summed chronologically on demand and memoized per window size, so
+every returned figure is bit-identical to the naive windowed average
+(``tests/test_hotpath_regressions.py`` holds the equivalence suite).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 from ..phy.dci import SubframeRecord
@@ -70,7 +78,23 @@ class CellCapacityEstimator:
         self.own_rnti = own_rnti
         self.filter_control_users = filter_control_users
         self.users = ActiveUserFilter(user_window_subframes)
-        self._samples: deque[CellSample] = deque(maxlen=self.MAX_WINDOW)
+        cap = self.MAX_WINDOW
+        self._cap = cap
+        #: Total samples ever folded in (also the memo version stamp).
+        self._count = 0
+        # Ring buffers over the last MAX_WINDOW samples.
+        self._subframes = [0] * cap
+        self._bers = [0.0] * cap
+        # Prefix sums C(k) = Σ field over samples 1..k, stored for the
+        # last MAX_WINDOW+1 sample indices so any window w ≤ MAX_WINDOW
+        # resolves as C(count) - C(count - w) in O(1) exact integer
+        # arithmetic.
+        self._cum_pa = [0] * (cap + 1)
+        self._cum_idle = [0] * (cap + 1)
+        self._cum_rate = [0] * (cap + 1)
+        #: ``{window: estimate}`` memo for the current sample version.
+        self._memo: dict[int, CellEstimate] = {}
+        self._memo_version = -1
         self.last_subframe = -1
         #: Last subframe in which this user itself received a grant.
         self.last_own_grant_subframe = -1
@@ -97,27 +121,75 @@ class CellCapacityEstimator:
                 own_rate = max(1, message.tbs_bits // message.n_prbs)
         if own_prbs > 0:
             self.last_own_grant_subframe = record.subframe
-        self._samples.append(CellSample(
-            record.subframe, own_prbs, record.idle_prbs, own_rate,
-            ber_hint))
+        count = self._count
+        slot = count % self._cap
+        self._subframes[slot] = record.subframe
+        self._bers[slot] = ber_hint
+        cum_slot = count % (self._cap + 1)
+        next_slot = (count + 1) % (self._cap + 1)
+        self._cum_pa[next_slot] = self._cum_pa[cum_slot] + own_prbs
+        self._cum_idle[next_slot] = self._cum_idle[cum_slot] \
+            + record.idle_prbs
+        self._cum_rate[next_slot] = self._cum_rate[cum_slot] + own_rate
+        self._count = count + 1
         self.last_subframe = record.subframe
 
     # ------------------------------------------------------------------
+    def samples(self) -> list[CellSample]:
+        """The retained sample window, oldest first (introspection)."""
+        count = self._count
+        n = min(count, self._cap)
+        out = []
+        for k in range(count - n, count):
+            cum, nxt = k % (self._cap + 1), (k + 1) % (self._cap + 1)
+            out.append(CellSample(
+                self._subframes[k % self._cap],
+                self._cum_pa[nxt] - self._cum_pa[cum],
+                self._cum_idle[nxt] - self._cum_idle[cum],
+                self._cum_rate[nxt] - self._cum_rate[cum],
+                self._bers[k % self._cap]))
+        return out
+
+    # ------------------------------------------------------------------
     def estimate(self, window_subframes: int) -> CellEstimate:
-        """Average the most recent ``window_subframes`` samples (Eqn. 3)."""
+        """Average the most recent ``window_subframes`` samples (Eqn. 3).
+
+        Estimates are memoized per window size until the next
+        :meth:`update`; callers must treat the returned
+        :class:`CellEstimate` as read-only.
+        """
         if window_subframes < 1:
             raise ValueError("window must be positive")
-        if not self._samples:
+        count = self._count
+        if count == 0:
             return CellEstimate(self.cell_id, 0.0, 0.0, 0.0, 0.0, 1, 0.0,
                                 coverage=0.0)
-        window = list(self._samples)[-window_subframes:]
-        n = len(window)
-        mean_pa = sum(s.own_prbs for s in window) / n
-        mean_idle = sum(s.idle_prbs for s in window) / n
-        mean_rate = sum(s.own_rate for s in window) / n
-        mean_ber = sum(s.ber for s in window) / n
+        if self._memo_version != count:
+            self._memo.clear()
+            self._memo_version = count
+        cached = self._memo.get(window_subframes)
+        if cached is not None:
+            return cached
+
+        n = min(window_subframes, count, self._cap)
+        cap, cap1 = self._cap, self._cap + 1
+        lo, hi = (count - n) % cap1, count % cap1
+        mean_pa = (self._cum_pa[hi] - self._cum_pa[lo]) / n
+        mean_idle = (self._cum_idle[hi] - self._cum_idle[lo]) / n
+        mean_rate = (self._cum_rate[hi] - self._cum_rate[lo]) / n
+        # The BER field is a float: a prefix-sum difference would round
+        # differently from the naive chronological sum, so it is summed
+        # left-to-right over the window (then memoized until the next
+        # sample arrives).
+        bers = self._bers
+        ber_sum = 0.0
+        for k in range(count - n, count):
+            ber_sum += bers[k % cap]
+        mean_ber = ber_sum / n
         # Decode gaps widen the subframe span the n samples cover.
-        span = max(1, window[-1].subframe - window[0].subframe + 1)
+        first = self._subframes[(count - n) % cap]
+        last = self._subframes[(count - 1) % cap]
+        span = max(1, last - first + 1)
         coverage = min(1.0, n / span)
         if self.filter_control_users:
             users = self.users.data_user_count(include=self.own_rnti)
@@ -126,6 +198,8 @@ class CellCapacityEstimator:
                                | {self.own_rnti}))
         physical = mean_rate * (mean_pa + mean_idle / users)
         fair = mean_rate * self.total_prbs / users
-        return CellEstimate(self.cell_id, physical, fair, mean_pa,
-                            mean_idle, users, mean_ber,
-                            coverage=coverage)
+        out = CellEstimate(self.cell_id, physical, fair, mean_pa,
+                           mean_idle, users, mean_ber,
+                           coverage=coverage)
+        self._memo[window_subframes] = out
+        return out

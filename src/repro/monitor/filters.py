@@ -45,7 +45,16 @@ class _SubframeUsers:
 
 
 class ActiveUserFilter:
-    """Sliding-window user tracker for one cell's control channel."""
+    """Sliding-window user tracker for one cell's control channel.
+
+    The per-user aggregates are maintained *incrementally*: each
+    decoded subframe adds its allocations on entry and subtracts them
+    when it slides out of the window.  The queries — called once per
+    capacity estimate, a measured hot path — then read a small
+    ``{rnti: UserActivity}`` dict instead of re-scanning ``window ×
+    users`` allocations.  All counters are integers, so the running
+    aggregates are exactly what a full rescan would produce.
+    """
 
     def __init__(self,
                  window_subframes: int = DEFAULT_WINDOW_SUBFRAMES) -> None:
@@ -53,32 +62,48 @@ class ActiveUserFilter:
             raise ValueError("window must be positive")
         self.window_subframes = window_subframes
         self._window: deque[_SubframeUsers] = deque()
+        #: Running per-user aggregates over the current window.
+        self._activity: dict[int, UserActivity] = {}
 
     def update(self, record: SubframeRecord) -> None:
         """Fold one decoded subframe into the window."""
         entry = _SubframeUsers(record.subframe)
+        allocations = entry.allocations
+        activity = self._activity
         for message in record.messages:
             if message.n_prbs > 0:
-                entry.allocations[message.rnti] = (
-                    entry.allocations.get(message.rnti, 0) + message.n_prbs)
+                allocations[message.rnti] = (
+                    allocations.get(message.rnti, 0) + message.n_prbs)
+        for rnti, prbs in allocations.items():
+            act = activity.get(rnti)
+            if act is None:
+                act = activity[rnti] = UserActivity()
+            act.active_subframes += 1
+            act.total_prbs += prbs
         self._window.append(entry)
         while len(self._window) > self.window_subframes:
-            self._window.popleft()
+            evicted = self._window.popleft()
+            for rnti, prbs in evicted.allocations.items():
+                act = activity[rnti]
+                act.active_subframes -= 1
+                act.total_prbs -= prbs
+                if act.active_subframes == 0:
+                    del activity[rnti]
 
     # ------------------------------------------------------------------
     def activity(self) -> dict[int, UserActivity]:
-        """Per-user activity aggregated over the window."""
-        users: dict[int, UserActivity] = {}
-        for entry in self._window:
-            for rnti, prbs in entry.allocations.items():
-                activity = users.setdefault(rnti, UserActivity())
-                activity.active_subframes += 1
-                activity.total_prbs += prbs
-        return users
+        """Per-user activity aggregated over the window.
+
+        Returns a fresh copy — mutating it does not corrupt the
+        filter's running aggregates.
+        """
+        return {
+            rnti: UserActivity(act.active_subframes, act.total_prbs)
+            for rnti, act in self._activity.items()}
 
     def detected_users(self) -> set[int]:
         """Every RNTI seen in the window (Figure 7a, 'All users')."""
-        return set(self.activity())
+        return set(self._activity)
 
     def data_users(self, include: int | None = None) -> set[int]:
         """Users surviving the ``Ta > 1, Pa > 4`` filter.
@@ -88,7 +113,7 @@ class ActiveUserFilter:
         its fair share, even before its own flow ramps up.
         """
         users = {
-            rnti for rnti, act in self.activity().items()
+            rnti for rnti, act in self._activity.items()
             if act.active_subframes >= MIN_ACTIVE_SUBFRAMES
             and act.average_prbs >= MIN_AVG_PRBS
         }

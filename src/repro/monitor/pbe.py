@@ -219,21 +219,22 @@ class PbeMonitor:
         # §4.1: per-cell rates are computed separately and summed, so the
         # Eqn. 5 TB-size term uses each carrier's own transport-block
         # size rather than pretending the aggregate is one giant TB.
-        cp = sum(e.physical_capacity for e in estimates)
-        cf = sum(e.fair_share for e in estimates)
-        ct = sum(self.translation.transport_rate(e.physical_capacity,
-                                                 e.mean_ber)
-                 for e in estimates)
-        cf_t = sum(self.translation.transport_rate(e.fair_share,
-                                                   e.mean_ber)
-                   for e in estimates)
+        # (One fused left-to-right pass: report() runs once per
+        # feedback, and the separate genexpr sums were measurable.)
+        transport_rate = self.translation.transport_rate
+        cp = cf = ct = cf_t = cov = 0.0
+        for e in estimates:
+            cp += e.physical_capacity
+            cf += e.fair_share
+            ct += transport_rate(e.physical_capacity, e.mean_ber)
+            cf_t += transport_rate(e.fair_share, e.mean_ber)
+            cov += e.coverage
         activated = self._activation_pending
         self._activation_pending = False
         staleness = 0
         if now_subframe is not None and self.last_subframe >= 0:
             staleness = max(0, now_subframe - self.last_subframe)
-        coverage = (sum(e.coverage for e in estimates) / len(estimates)
-                    if estimates else 0.0)
+        coverage = cov / len(estimates) if estimates else 0.0
         decay = max(0.0, 1.0 - staleness / CONFIDENCE_HORIZON_SUBFRAMES)
         return MonitorReport(
             subframe=self.last_subframe,

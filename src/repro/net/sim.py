@@ -5,6 +5,17 @@ Time is an integer number of microseconds (see :mod:`repro.net.units`).
 Events scheduled for the same instant fire in scheduling order (a
 monotonically increasing sequence number breaks ties), which makes runs
 fully deterministic for a given seed.
+
+Implementation notes for the hot loop: heap entries are plain
+``(time, seq, event)`` tuples so ordering is resolved by C-level tuple
+comparison instead of a Python ``__lt__`` call, and cancelled events
+are lazily deleted — they stay in the heap and are skipped when popped.
+Lazy deletion alone lets retransmission/pacing-heavy runs accumulate
+dead entries (every RTO re-arm cancels its predecessor), inflating
+every push and pop, so the simulator tracks how many queued entries
+are dead and compacts the heap once more than half of it is cancelled.
+Compaction preserves execution order exactly: the (time, seq) key is a
+strict total order, so rebuilding the heap cannot reorder live events.
 """
 
 from __future__ import annotations
@@ -14,15 +25,21 @@ from typing import Any, Callable, Optional
 
 from .units import US_PER_S
 
+#: Never bother compacting heaps smaller than this; the scan costs more
+#: than the dead entries do.
+_COMPACT_MIN_EVENTS = 64
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Events can be cancelled; cancelled events stay in the heap but are
     skipped when popped (lazy deletion), which is O(1) instead of O(n).
+    The owning simulator counts cancellations so it can compact the
+    heap when dead entries start to dominate.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
 
     def __init__(self, time: int, seq: int,
                  callback: Callable[..., None], args: tuple):
@@ -31,23 +48,39 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: The simulator whose heap still holds this event (``None``
+        #: once popped, so late cancels cannot skew the dead count).
+        self._owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Mark this event so it will not fire."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None:
+            owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Simulator:
-    """Deterministic discrete-event simulator with an integer-µs clock."""
+    """Deterministic discrete-event simulator with an integer-µs clock.
 
-    def __init__(self) -> None:
+    ``perf_counters`` (see :class:`repro.perf.PerfCounters`) is an
+    optional observability hook: when attached, the run loop maintains
+    pop/cancel/compaction counters.  It never alters behaviour.
+    """
+
+    def __init__(self, perf_counters: Optional[Any] = None) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._running = False
+        #: Cancelled events still sitting in the heap.
+        self._cancelled: int = 0
+        self.perf = perf_counters
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -57,7 +90,18 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay_us`` from now."""
         if delay_us < 0:
             raise ValueError(f"cannot schedule into the past ({delay_us} us)")
-        return self.schedule_at(self.now + delay_us, callback, *args)
+        # Inlined schedule_at: this is the hottest allocation site in
+        # the simulator (every pace/ACK/RTO passes through here), and
+        # the extra Python call was measurable.
+        time_us = self.now + delay_us
+        seq = self._seq
+        event = Event(time_us, seq, callback, args)
+        event._owner = self
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._seq = seq + 1
+        if self.perf is not None:
+            self.perf.events_scheduled += 1
+        return event
 
     def schedule_at(self, time_us: int,
                     callback: Callable[..., None], *args: Any) -> Event:
@@ -66,9 +110,39 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time_us} us; now is {self.now} us")
         event = Event(time_us, self._seq, callback, args)
+        event._owner = self
+        heapq.heappush(self._heap, (time_us, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        if self.perf is not None:
+            self.perf.events_scheduled += 1
         return event
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """One queued event was just cancelled; compact if dead-heavy."""
+        self._cancelled += 1
+        heap_len = len(self._heap)
+        if (heap_len >= _COMPACT_MIN_EVENTS
+                and self._cancelled * 2 > heap_len):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        O(live) rather than O(n log n): heapify on the filtered list.
+        Execution order is untouched — (time, seq) totally orders live
+        events regardless of internal heap layout.  The list is mutated
+        in place so the run loop's local alias stays valid even when a
+        callback's cancel triggers compaction mid-run.
+        """
+        self._heap[:] = [entry for entry in self._heap
+                         if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        if self.perf is not None:
+            self.perf.heap_compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -81,14 +155,23 @@ class Simulator:
         """
         self._running = True
         heap = self._heap
+        heappop = heapq.heappop
+        perf = self.perf
         while heap and self._running:
-            event = heap[0]
-            if until_us is not None and event.time > until_us:
+            entry = heap[0]
+            if until_us is not None and entry[0] > until_us:
                 break
-            heapq.heappop(heap)
+            heappop(heap)
+            event = entry[2]
+            event._owner = None
             if event.cancelled:
+                self._cancelled -= 1
+                if perf is not None:
+                    perf.events_cancelled_popped += 1
                 continue
-            self.now = event.time
+            self.now = entry[0]
+            if perf is not None:
+                perf.events_popped += 1
             event.callback(*event.args)
         if until_us is not None and self.now < until_us:
             self.now = until_us
@@ -107,7 +190,12 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size, cancelled entries included (diagnostics)."""
         return len(self._heap)
 
     @property

@@ -1,0 +1,153 @@
+"""Hot-path benchmark suite → ``BENCH_hotpath.json``.
+
+Four benches cover the measured hot paths of the subframe loop, from
+micro to macro:
+
+``estimator``
+    :meth:`CellCapacityEstimator.estimate` under the real call pattern
+    (one :meth:`update` per subframe, several differently-windowed
+    estimates between updates — the memo's hit pattern).
+``scheduler``
+    :func:`allocate_prbs` water-filling over a mixed population of
+    small capped demands and large backlogged ones.
+``subframe_loop``
+    a busy 2-carrier cell with a PBE flow and background users,
+    reported as subframes (ticks) per wall second via
+    :class:`repro.perf.PerfCounters`.
+``sweep``
+    the end-to-end Table-1-style stationary sweep (the ISSUE's ≥2×
+    acceptance metric is measured on this number).
+
+``run_benchmarks`` returns a JSON-ready dict (schema
+``repro.perf/bench_hotpath/v1``).  ``python -m repro perf`` writes it
+to disk; CI records the file as an artifact so regressions show up as
+a trajectory rather than a gate.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Optional
+
+from ..cell.scheduler import DemandEntry, allocate_prbs
+from ..monitor.capacity import CellCapacityEstimator
+from ..phy.dci import DciMessage, SubframeRecord
+from . import PerfCounters
+
+#: Version tag of the emitted document.
+SCHEMA = "repro.perf/bench_hotpath/v1"
+
+
+def _bench_estimator(n_subframes: int) -> dict:
+    """Feed a busy cell's control channel; estimate() per subframe."""
+    est = CellCapacityEstimator(cell_id=0, total_prbs=100, own_rnti=1)
+    estimates = 0
+    t0 = time.perf_counter()
+    for sf in range(n_subframes):
+        record = SubframeRecord(sf, 0, 100)
+        msgs = record.messages
+        msgs.append(DciMessage(sf, 0, 1, 20 + sf % 5, 15, 2,
+                               tbs_bits=(20 + sf % 5) * 500))
+        for user in range(4):
+            msgs.append(DciMessage(sf, 0, 100 + user, 10 + user, 12, 1,
+                                   tbs_bits=(10 + user) * 300))
+        est.update(record, own_rate_hint=500, ber_hint=1e-5)
+        # Real monitors ask for a couple of RTprop-sized windows per
+        # feedback burst — same window repeatedly (memo hits) plus an
+        # occasional different one.
+        for window in (40, 40, 40, 80):
+            est.estimate(window)
+            estimates += 1
+    wall = time.perf_counter() - t0
+    return {"subframes": n_subframes, "estimates": estimates,
+            "wall_s": round(wall, 6),
+            "estimates_per_s": round(estimates / wall, 1) if wall else 0.0}
+
+
+def _bench_scheduler(rounds: int) -> dict:
+    """Water-filling over capped + backlogged users on one carrier."""
+    demands = (
+        [DemandEntry(rnti=i, demand_bits=4_000, bits_per_prb=400)
+         for i in range(4)]                      # small, will be capped
+        + [DemandEntry(rnti=100 + i, demand_bits=10**7,
+                       bits_per_prb=500 + 37 * i)
+           for i in range(8)])                   # backlogged
+    calls = 0
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        allocate_prbs(100, demands, rotation=r)
+        calls += 1
+    wall = time.perf_counter() - t0
+    return {"users": len(demands), "calls": calls,
+            "wall_s": round(wall, 6),
+            "calls_per_s": round(calls / wall, 1) if wall else 0.0}
+
+
+def _bench_subframe_loop(duration_s: float) -> dict:
+    """Busy 2-carrier cell + PBE flow; ticks per wall second."""
+    from ..harness import Experiment, FlowSpec, Scenario
+    perf = PerfCounters()
+    scenario = Scenario(name="bench", aggregated_cells=2,
+                        mean_sinr_db=18.0, busy=True,
+                        background_users=4, duration_s=duration_s,
+                        seed=1)
+    experiment = Experiment(scenario, perf_counters=perf)
+    experiment.add_flow(FlowSpec(scheme="pbe"))
+    t0 = time.perf_counter()
+    experiment.run()
+    wall = time.perf_counter() - t0
+    return {"sim_s": duration_s, "wall_s": round(wall, 6),
+            "ticks": perf.ticks,
+            "ticks_per_s": round(perf.ticks / wall, 1) if wall else 0.0,
+            "counters": perf.as_dict()}
+
+
+def _bench_sweep(duration_s: float) -> dict:
+    """End-to-end mini Table-1 stationary sweep (single process)."""
+    from ..harness.experiments import run_stationary_sweep
+    t0 = time.perf_counter()
+    sweep = run_stationary_sweep(schemes=("pbe", "bbr"), n_busy=2,
+                                 n_idle=1, duration_s=duration_s,
+                                 jobs=1)
+    wall = time.perf_counter() - t0
+    return {"entries": len(sweep.entries), "flow_s": duration_s,
+            "wall_s": round(wall, 6)}
+
+
+def run_benchmarks(smoke: bool = False,
+                   progress: Optional[object] = None) -> dict:
+    """Run the suite; ``smoke=True`` shrinks every bench for CI.
+
+    ``progress`` is an optional file-like object for one-line status
+    updates (the CLI passes stderr).
+    """
+
+    def say(message: str) -> None:
+        if progress is not None:
+            print(f"[repro perf] {message}", file=progress, flush=True)
+
+    say("estimator bench...")
+    estimator = _bench_estimator(2_000 if smoke else 20_000)
+    say("scheduler bench...")
+    scheduler = _bench_scheduler(2_000 if smoke else 20_000)
+    say("subframe-loop bench...")
+    loop = _bench_subframe_loop(1.0 if smoke else 6.0)
+    say("end-to-end sweep bench...")
+    sweep = _bench_sweep(1.0 if smoke else 4.0)
+    return {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "platform": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "benches": {
+            "estimator": estimator,
+            "scheduler": scheduler,
+            "subframe_loop": loop,
+            "sweep": sweep,
+        },
+    }

@@ -1,0 +1,354 @@
+"""Regression tests for the hot-path bugfix PR.
+
+Each test here fails on the pre-PR code:
+
+* scheduler idle-PRB leak — remainder PRBs freed by demand caps or by
+  float truncation of the weighted shares were dropped instead of
+  redistributed;
+* PF state leak — ``ProportionalFairState.record`` never evicted
+  departed users, so day-long churny runs grew without bound;
+* event-heap bloat — the simulator lazily cancelled events but never
+  compacted, and ``pending_events`` counted corpses as pending;
+
+plus exact-equivalence suites for the rolling-sum rewrites (capacity
+estimator, CA manager): the optimized implementations must be
+*bit-for-bit* identical to the naive re-scan they replaced, because
+their outputs feed simulation decisions and determinism is a repo
+invariant.
+"""
+
+import random
+from collections import deque
+
+from repro.cell.ca_manager import CaPolicy, CarrierAggregationManager
+from repro.cell.scheduler import (
+    DemandEntry,
+    ProportionalFairState,
+    allocate_prbs,
+)
+from repro.monitor.capacity import CellCapacityEstimator
+from repro.net.sim import Simulator
+from repro.phy.carrier import AggregationState
+from repro.phy.dci import DciMessage, SubframeRecord
+
+
+# ----------------------------------------------------------------------
+# Scheduler: idle-PRB leak
+# ----------------------------------------------------------------------
+def _total(grants):
+    return sum(grants.values())
+
+
+def test_scheduler_redistributes_truncation_leak():
+    """Huge PRB budgets leaked grants to float truncation pre-PR.
+
+    At ``available >= ~2**53 / n`` the float division inside the
+    remainder round truncates enough that ``leftover`` exceeds the
+    user count, and the rotating +1 extras could not hand all of it
+    out.  The redistribution loop must allocate every PRB whenever
+    demand exceeds supply.
+    """
+    for available in (10**17, 10**18):
+        demands = [DemandEntry(rnti=i, demand_bits=10**19,
+                               bits_per_prb=1) for i in range(3)]
+        grants = allocate_prbs(available, demands, rotation=0)
+        assert _total(grants) == available, (
+            f"leaked {available - _total(grants)} PRBs at {available}")
+
+
+def test_scheduler_capped_users_free_prbs_for_backlogged():
+    """PRBs a capped user does not need go to backlogged users."""
+    demands = [
+        DemandEntry(rnti=1, demand_bits=100, bits_per_prb=100),   # 1 PRB
+        DemandEntry(rnti=2, demand_bits=10**9, bits_per_prb=100),
+        DemandEntry(rnti=3, demand_bits=10**9, bits_per_prb=100),
+    ]
+    grants = allocate_prbs(99, demands, rotation=5)
+    assert grants[1] == 1
+    assert _total(grants) == 99  # nothing idles while users backlog
+
+
+def _brute_force_equal(available, demands):
+    """Reference allocator: hand out one PRB at a time, round-robin
+    over users still below demand.  Shares differ from water-filling
+    by at most rounding, but the *totals* invariant is exact."""
+    need = {d.rnti: d.demand_prbs for d in demands if d.demand_prbs > 0}
+    got = {rnti: 0 for rnti in need}
+    order = sorted(need)
+    while available > 0:
+        live = [r for r in order if got[r] < need[r]]
+        if not live:
+            break
+        for rnti in live:
+            if available == 0:
+                break
+            got[rnti] += 1
+            available -= 1
+    return {r: g for r, g in got.items() if g > 0}
+
+
+def test_scheduler_totals_match_brute_force():
+    """Property: total granted == min(supply, total demand), per-user
+    grant <= demand, across random capped/backlogged mixes."""
+    rng = random.Random(20260806)
+    for trial in range(300):
+        n = rng.randint(1, 10)
+        demands = [
+            DemandEntry(rnti=i,
+                        demand_bits=rng.choice(
+                            [0, rng.randint(1, 5_000),
+                             rng.randint(10**6, 10**8)]),
+                        bits_per_prb=rng.randint(1, 2_000))
+            for i in range(n)]
+        available = rng.randint(0, 300)
+        grants = allocate_prbs(available, demands,
+                               rotation=rng.randint(0, 10_000))
+        reference = _brute_force_equal(available, demands)
+        assert _total(grants) == _total(reference)
+        by_rnti = {d.rnti: d.demand_prbs for d in demands}
+        for rnti, prbs in grants.items():
+            assert 0 < prbs <= by_rnti[rnti]
+
+
+def test_scheduler_leak_free_under_pf_weights():
+    """The redistribution loop also closes the gap for weighted
+    policies, where truncation losses were far easier to hit."""
+    pf = ProportionalFairState(time_constant_subframes=50)
+    pf.record({1: 10**6, 2: 10}, known_rntis={1, 2, 3})
+    demands = [DemandEntry(rnti=i, demand_bits=10**9, bits_per_prb=500)
+               for i in (1, 2, 3)]
+    for available in (7, 100, 9973):
+        grants = allocate_prbs(available, demands, rotation=3,
+                               policy="proportional_fair", pf_state=pf)
+        assert _total(grants) == available
+
+
+# ----------------------------------------------------------------------
+# Proportional-fair state eviction
+# ----------------------------------------------------------------------
+def test_pf_state_evicts_departed_users():
+    pf = ProportionalFairState(time_constant_subframes=10)
+    pf.record({1: 1000, 2: 2000}, known_rntis={1, 2})
+    assert pf.throughput_of(2) > 0.0
+    # User 2 departs; its EWMA must be gone after a full time constant.
+    for _ in range(25):
+        pf.record({1: 1000}, known_rntis={1})
+    assert pf.throughput_of(2) == 0.0
+    assert pf.tracked_users() == 1
+
+
+def test_pf_state_bounded_under_churn():
+    """A revolving population leaves only recently-seen users behind."""
+    pf = ProportionalFairState(time_constant_subframes=20)
+    for step in range(2_000):
+        rnti = step % 400  # 400 distinct users cycling through
+        pf.record({rnti: 500}, known_rntis={rnti})
+    # Bound: users seen within the last time constant, plus at most one
+    # eviction period of slack before the next amortized sweep.
+    assert pf.tracked_users() <= 2 * 20
+
+
+def test_pf_returning_user_starts_fresh():
+    pf = ProportionalFairState(time_constant_subframes=5)
+    pf.record({9: 4000}, known_rntis={9})
+    for _ in range(12):
+        pf.record({}, known_rntis=set())
+    assert pf.throughput_of(9) == 0.0
+    pf.record({9: 800}, known_rntis={9})
+    # Restarts from zero history, not the stale EWMA.
+    assert pf.throughput_of(9) == (1.0 / 5) * 800
+
+
+# ----------------------------------------------------------------------
+# Event-heap compaction
+# ----------------------------------------------------------------------
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    events = [sim.schedule(10 + i, lambda: None) for i in range(20)]
+    for event in events[::2]:
+        event.cancel()
+    assert sim.pending_events == 10
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    sim = Simulator()
+    events = [sim.schedule(1_000 + i, lambda: None) for i in range(600)]
+    for event in events[:400]:
+        event.cancel()
+    # Compaction is amortized: corpses may linger only while they are
+    # a minority of the (>=64-entry) heap.  Pre-PR all 400 stayed.
+    assert sim.pending_events == 200
+    dead = sim.queued_entries - sim.pending_events
+    assert dead * 2 <= sim.queued_entries
+    assert sim.queued_entries < 400
+
+
+def test_compaction_preserves_fire_order():
+    """Same timeline with and without cancellation-triggered compaction."""
+    fired = []
+
+    def build(n_cancel):
+        sim = Simulator()
+        order = []
+        keep = []
+        for i in range(300):
+            # Deliberate time collisions exercise the seq tie-break.
+            event = sim.schedule((i % 37) * 100, order.append, i)
+            keep.append(event)
+        for event in keep[:n_cancel]:
+            event.cancel()
+        sim.run()
+        return order
+
+    expected = [i for i in range(300) if i >= 200]
+    baseline = build(200)       # triggers compaction (200/300 dead)
+    assert baseline == sorted(
+        expected, key=lambda i: ((i % 37) * 100, i))
+    fired = build(200)
+    assert fired == baseline
+
+
+def test_compaction_mid_run_keeps_heap_alias_valid():
+    """A callback that cancels enough events to trigger compaction must
+    not desync the run loop (the compaction mutates the heap list in
+    place)."""
+    sim = Simulator()
+    victims = [sim.schedule(5_000 + i, lambda: None) for i in range(200)]
+    ran = []
+
+    def massacre():
+        for event in victims:
+            event.cancel()
+
+    sim.schedule(10, massacre)
+    sim.schedule(20, ran.append, "after")
+    sim.run()
+    assert ran == ["after"]
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_pop_does_not_corrupt_count():
+    """Cancelling an event whose entry already left the heap must not
+    skew the dead-entry accounting below zero."""
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    sim.run()
+    event.cancel()  # already fired; owner cleared on pop
+    assert sim.pending_events == 0
+    sim.schedule(1, lambda: None)
+    assert sim.pending_events == 1
+
+
+# ----------------------------------------------------------------------
+# Rolling-sum equivalence: CA manager
+# ----------------------------------------------------------------------
+def test_ca_rolling_sums_match_history_rescan():
+    policy = CaPolicy(window=16, cooldown=5, deactivation_hold=8)
+    manager = CarrierAggregationManager(policy)
+    agg = AggregationState(configured=[0, 1])
+    rng = random.Random(7)
+    for subframe in range(400):
+        manager.observe(subframe, 42, agg,
+                        used_prbs=rng.randint(0, 50),
+                        active_total_prbs=50 * agg.active_count,
+                        backlogged=rng.random() < 0.6)
+        state = manager.state_for(42)
+        assert state.used_sum == sum(h[0] for h in state.history)
+        assert state.total_sum == sum(h[1] for h in state.history)
+        assert state.backlog_frames == sum(
+            1 for h in state.history if h[2])
+
+
+# ----------------------------------------------------------------------
+# Rolling-sum equivalence: capacity estimator
+# ----------------------------------------------------------------------
+class _NaiveEstimator:
+    """The pre-PR deque-and-rescan estimator, kept as the oracle."""
+
+    def __init__(self, cap):
+        self.samples = deque(maxlen=cap)
+
+    def update(self, subframe, own_prbs, idle_prbs, own_rate, ber):
+        self.samples.append((subframe, own_prbs, idle_prbs, own_rate,
+                             ber))
+
+    def estimate(self, window_subframes):
+        window = list(self.samples)[-window_subframes:]
+        n = len(window)
+        mean_pa = sum(s[1] for s in window) / n
+        mean_idle = sum(s[2] for s in window) / n
+        mean_rate = sum(s[3] for s in window) / n
+        mean_ber = sum(s[4] for s in window) / n
+        span = max(1, window[-1][0] - window[0][0] + 1)
+        coverage = min(1.0, n / span)
+        return (mean_pa, mean_idle, mean_rate, mean_ber, coverage)
+
+
+def _feed(est, naive, subframe, rng):
+    own = rng.randint(0, 40)
+    other = rng.randint(0, 50 - min(own, 50))
+    record = SubframeRecord(subframe, 0, 100)
+    if own:
+        record.messages.append(DciMessage(
+            subframe, 0, 1, own, 15, 2, tbs_bits=own * rng.randint(
+                200, 900)))
+    if other:
+        record.messages.append(DciMessage(
+            subframe, 0, 77, other, 10, 1, tbs_bits=other * 300))
+    ber = rng.choice([0.0, 1e-6, 3.7e-5, 1.2e-4])
+    est.update(record, own_rate_hint=rng.randint(100, 1_000),
+               ber_hint=ber)
+    sample = est.samples()[-1]
+    naive.update(sample.subframe, sample.own_prbs, sample.idle_prbs,
+                 sample.own_rate, sample.ber)
+
+
+def test_estimator_bitwise_equal_to_naive_rescan():
+    """Every figure the ring-buffer estimator returns must equal the
+    naive windowed re-scan *bit for bit* (floats compared with ==)."""
+    rng = random.Random(123)
+    est = CellCapacityEstimator(cell_id=0, total_prbs=100, own_rnti=1)
+    naive = _NaiveEstimator(CellCapacityEstimator.MAX_WINDOW)
+    subframe = 0
+    for step in range(1_200):  # 3x MAX_WINDOW: exercises overflow
+        subframe += 1 if rng.random() < 0.8 else rng.randint(2, 30)
+        _feed(est, naive, subframe, rng)
+        for window in (1, 2, 7, 40, 399, 400):
+            got = est.estimate(window)
+            pa, idle, rate, ber, cov = naive.estimate(window)
+            assert got.own_allocation == pa
+            assert got.idle == idle
+            assert got.mean_ber == ber
+            assert got.coverage == cov
+            # physical/fair recombine mean_rate with the user count;
+            # verify the rate term via the fair-share identity.
+            assert got.fair_share == rate * 100 / got.users
+
+
+def test_estimator_memo_invalidated_by_update():
+    est = CellCapacityEstimator(cell_id=0, total_prbs=100, own_rnti=1)
+    rng = random.Random(5)
+    naive = _NaiveEstimator(CellCapacityEstimator.MAX_WINDOW)
+    _feed(est, naive, 1, rng)
+    first = est.estimate(40)
+    assert est.estimate(40) is first  # memo hit between updates
+    _feed(est, naive, 2, rng)
+    second = est.estimate(40)
+    assert second is not first
+    pa, idle, rate, ber, cov = naive.estimate(40)
+    assert second.own_allocation == pa and second.mean_ber == ber
+
+
+def test_estimator_samples_roundtrip():
+    """samples() reconstructs the retained window from the rings."""
+    est = CellCapacityEstimator(cell_id=0, total_prbs=50, own_rnti=3)
+    for sf in range(450):
+        record = SubframeRecord(sf, 0, 50)
+        record.messages.append(DciMessage(
+            sf, 0, 3, 1 + sf % 5, 10, 1, tbs_bits=(1 + sf % 5) * 100))
+        est.update(record, own_rate_hint=100, ber_hint=float(sf))
+    samples = est.samples()
+    assert len(samples) == CellCapacityEstimator.MAX_WINDOW
+    assert samples[0].subframe == 50 and samples[-1].subframe == 449
+    assert samples[-1].own_prbs == 1 + 449 % 5
+    assert samples[-1].ber == 449.0
