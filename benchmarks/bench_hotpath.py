@@ -1,7 +1,8 @@
-"""Hot-path microbenchmarks (scheduler, estimator, subframe loop).
+"""Hot-path microbenchmarks (scheduler, estimator, batched-engine
+block paths, subframe loop).
 
-Complements the figure/table benches: these time the three measured
-hot paths directly, so a regression in one of them is attributable
+Complements the figure/table benches: these time the measured hot
+paths directly, so a regression in one of them is attributable
 before it shows up as a slower sweep.  ``python -m repro perf`` runs
 the same bodies outside pytest and records them to
 ``BENCH_hotpath.json``.
@@ -11,6 +12,8 @@ from repro.cell.scheduler import DemandEntry, allocate_prbs
 from repro.monitor.capacity import CellCapacityEstimator
 from repro.perf import PerfCounters
 from repro.perf.bench import (
+    _bench_channel_block,
+    _bench_dci_batch,
     _bench_estimator,
     _bench_scheduler,
     _bench_subframe_loop,
@@ -50,6 +53,27 @@ def test_estimator_window(benchmark):
             est.estimate(window)
 
     benchmark(body)
+
+
+def test_channel_block_chain(benchmark):
+    """Block-sampled SINR→MCS→rate→BER chain vs its scalar reference."""
+    result = benchmark.pedantic(
+        _bench_channel_block, kwargs={"n_subframes": 20_000},
+        rounds=1, iterations=1)
+    print(f"\nchannel block: {result['block_subframes_per_s']:,.0f} "
+          f"subframes/s ({result['speedup']:g}x scalar)")
+    # The block path must never be slower than per-subframe sampling.
+    assert result["speedup"] >= 1.0
+
+
+def test_dci_batch_ingest(benchmark):
+    """Columnar monitor ingest vs the per-record reference path."""
+    result = benchmark.pedantic(
+        _bench_dci_batch, kwargs={"n_subframes": 10_000},
+        rounds=1, iterations=1)
+    print(f"\ndci batch: {result['batch_rows_per_s']:,.0f} rows/s "
+          f"({result['speedup']:g}x scalar)")
+    assert result["subframes"] == 10_000
 
 
 def test_subframe_loop_ticks(benchmark):

@@ -16,6 +16,7 @@ Once per subframe (1 ms) it runs, for every component carrier:
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -26,11 +27,27 @@ from ..net.packet import Packet
 from ..net.sim import Simulator
 from ..net.units import SUBFRAME_US
 from ..phy.carrier import AggregationState, CarrierConfig
-from ..phy.channel import ChannelModel
+from ..phy.channel import (
+    ChannelModel,
+    GaussMarkovChannel,
+    StaticChannel,
+    TraceChannel,
+)
 from ..phy.dci import DciMessage, SubframeRecord
-from ..phy.error import block_error_rate, retransmission_ber, sinr_to_ber
+from ..phy.error import (
+    block_error_rate,
+    retransmission_ber,
+    sinr_to_ber,
+    sinr_to_ber_block,
+)
 from ..phy.harq import MAX_RETRANSMISSIONS, RETX_DELAY_SUBFRAMES
-from ..phy.mcs import MAX_MCS_INDEX, bits_per_prb, sinr_to_mcs
+from ..phy.mcs import (
+    MAX_MCS_INDEX,
+    bits_per_prb,
+    bits_per_prb_block,
+    sinr_to_mcs,
+    sinr_to_mcs_block,
+)
 from .ca_manager import CaPolicy, CarrierAggregationManager
 from .control_traffic import ControlTrafficGenerator
 from .queues import PROTOCOL_OVERHEAD, DownlinkQueue, TransportBlock
@@ -45,6 +62,17 @@ from .ue import UserEquipment
 MIMO_SINR_THRESHOLD_DB = 10.0
 #: Control-plane bursts use the most robust MCS.
 CONTROL_MCS = 4
+#: Their fixed per-PRB rate, precomputed for the per-burst hot path.
+_CONTROL_BITS_PER_PRB = bits_per_prb(CONTROL_MCS, 1)
+#: Subframes of channel trajectory precomputed per user per block in
+#: the batched engine (one ``sinr_block`` draw + one vectorized
+#: SINR→MCS→rate/BER chain instead of 64 scalar rounds).
+CHANNEL_BLOCK_SUBFRAMES = 64
+#: Channel models whose ``sinr_block`` is exact (RNG-stream identical
+#: to scalar calls) *and* whose output depends only on time — the
+#: precondition for precomputing a user's trajectory ahead of the
+#: clock.  Custom models fall back to per-subframe sampling.
+_BLOCK_SAFE_CHANNELS = (StaticChannel, GaussMarkovChannel, TraceChannel)
 
 
 @dataclass
@@ -85,14 +113,17 @@ class _User:
     __slots__ = (
         "rnti", "agg", "channel", "category", "queue", "ue", "tb_seq",
         "demand_source", "sinr_db", "current_mcs", "current_streams",
-        "rate_now", "active_cell_set", "active_prb_total",
+        "rate_now", "ber_now", "active_cell_set", "active_prb_total",
         "allocated_history", "exo_packet_seq", "suspended_until",
-        "_sinr_history",
+        "_sinr_history", "block_safe", "_blk_idx", "_blk_len",
+        "_blk_sinr", "_blk_mcs", "_blk_streams", "_blk_rate", "_blk_ber",
+        "_blk_ckpt", "_blk_start_us",
     )
 
     def __init__(self, rnti: int, agg: AggregationState,
                  channel: ChannelModel, category: UeCategory,
-                 queue: DownlinkQueue, ue: Optional[UserEquipment]) -> None:
+                 queue: DownlinkQueue, ue: Optional[UserEquipment],
+                 cqi_delay_subframes: int = 0) -> None:
         self.rnti = rnti
         self.agg = agg
         self.channel = channel
@@ -105,6 +136,20 @@ class _User:
         self.current_mcs = 0
         self.current_streams = 1
         self.rate_now = bits_per_prb(0, 1)
+        self.ber_now = sinr_to_ber(0.0)
+        #: Batched-engine channel cache: True when the channel model may
+        #: be sampled in blocks (known-exact model, not shared with
+        #: another user).  Set by the network.
+        self.block_safe = False
+        self._blk_idx = 0
+        self._blk_len = 0
+        self._blk_sinr: list[float] = []
+        self._blk_mcs: list[int] = []
+        self._blk_streams: list[int] = []
+        self._blk_rate: list[int] = []
+        self._blk_ber: list[float] = []
+        self._blk_ckpt: object = None
+        self._blk_start_us = 0
         #: Cached views of ``agg.active_cells`` (membership set, PRB
         #: total) — refreshed by the network whenever aggregation
         #: changes, so the per-subframe loops avoid rebuilding them.
@@ -116,7 +161,11 @@ class _User:
         #: Scheduling suspended until this subframe (handover gap).
         self.suspended_until = -1
         #: Recent SINR samples for CQI-reporting delay (newest last).
-        self._sinr_history: list[float] = []
+        #: The maxlen bounds it to delay+1 entries, so append evicts the
+        #: stale head in O(1) — the old list.pop(0) was O(window) per
+        #: subframe per user.
+        self._sinr_history: deque[float] = deque(
+            maxlen=cqi_delay_subframes + 1)
 
     def refresh_channel(self, now_us: int,
                         cqi_delay_subframes: int = 0) -> None:
@@ -130,8 +179,6 @@ class _User:
         self.sinr_db = self.channel.sinr_db(now_us)
         if cqi_delay_subframes > 0:
             self._sinr_history.append(self.sinr_db)
-            if len(self._sinr_history) > cqi_delay_subframes + 1:
-                self._sinr_history.pop(0)
             reported = self._sinr_history[0]
         else:
             reported = self.sinr_db
@@ -142,6 +189,83 @@ class _User:
             self.current_streams = 1
         self.rate_now = bits_per_prb(self.current_mcs,
                                      self.current_streams)
+        self.ber_now = sinr_to_ber(self.sinr_db)
+
+    def fill_channel_block(self, now_us: int,
+                           cqi_delay_subframes: int,
+                           n_subframes: int = CHANNEL_BLOCK_SUBFRAMES,
+                           ) -> None:
+        """Precompute the next block of per-subframe channel state.
+
+        One ``sinr_block`` draw plus one vectorized SINR→CQI→MCS→rate/
+        BER chain replaces ``n`` rounds of :meth:`refresh_channel`,
+        consuming the channel's RNG stream identically and producing
+        bitwise-equal values (``tests/test_batch_engine.py``).
+        """
+        # Checkpoint first, so release_channel_block can rewind the
+        # channel if the cache is dropped before the block is used up.
+        self._blk_ckpt = self.channel.state_checkpoint()
+        self._blk_start_us = now_us
+        sinr = self.channel.sinr_block(now_us, n_subframes)
+        if cqi_delay_subframes > 0:
+            # reported[k] is what the history deque's head would be
+            # after appending sinr[k]: element max(0, h+k-delay) of the
+            # (history + block) concatenation.
+            history = self._sinr_history
+            h = len(history)
+            if h:
+                joined = np.concatenate(
+                    [np.asarray(history, dtype=np.float64), sinr])
+            else:
+                joined = sinr
+            reported = joined[np.maximum(
+                h + np.arange(n_subframes) - cqi_delay_subframes, 0)]
+            history.extend(sinr.tolist())
+        else:
+            reported = sinr
+        mcs = sinr_to_mcs_block(reported, self.category.max_mcs)
+        streams = np.where(reported >= MIMO_SINR_THRESHOLD_DB,
+                           self.category.max_streams, 1)
+        # Plain-Python lists: per-tick indexing below is several times
+        # cheaper than numpy scalar extraction, and the float64→float
+        # round-trip is exact.
+        self._blk_sinr = sinr.tolist()
+        self._blk_mcs = mcs.tolist()
+        self._blk_streams = streams.tolist()
+        self._blk_rate = bits_per_prb_block(mcs, streams).tolist()
+        self._blk_ber = sinr_to_ber_block(sinr).tolist()
+        self._blk_idx = 0
+        self._blk_len = n_subframes
+
+    def refresh_from_block(self, slot: int) -> None:
+        """Adopt one precomputed subframe of channel state."""
+        self.sinr_db = self._blk_sinr[slot]
+        self.current_mcs = self._blk_mcs[slot]
+        self.current_streams = self._blk_streams[slot]
+        self.rate_now = self._blk_rate[slot]
+        self.ber_now = self._blk_ber[slot]
+        self._blk_idx = slot + 1
+
+    def invalidate_channel_block(self) -> None:
+        """Drop precomputed channel state (handover / channel swap)."""
+        self._blk_idx = 0
+        self._blk_len = 0
+
+    def release_channel_block(self) -> None:
+        """Drop the cache AND rewind the channel to the consumed slot.
+
+        Block sampling draws the channel's stream ahead of consumption;
+        if this user stops sampling the channel (departure, channel
+        swap) while the cache is only partially consumed, the model must
+        be left where per-subframe sampling would have left it, in case
+        the object is handed to another user.  Restore the pre-block
+        checkpoint, then re-consume exactly the used prefix.
+        """
+        if self._blk_len and self._blk_idx < self._blk_len:
+            self.channel.state_restore(self._blk_ckpt)
+            if self._blk_idx:
+                self.channel.sinr_block(self._blk_start_us, self._blk_idx)
+        self.invalidate_channel_block()
 
     @property
     def bits_per_prb_now(self) -> int:
@@ -168,7 +292,8 @@ class CellularNetwork:
                  scheduler_policy: str = "equal",
                  cqi_delay_subframes: int = 0,
                  seed: int = 0,
-                 perf_counters: Optional[Any] = None) -> None:
+                 perf_counters: Optional[Any] = None,
+                 batched: bool = True) -> None:
         if cqi_delay_subframes < 0:
             raise ValueError("CQI delay must be non-negative")
         if not carriers:
@@ -203,6 +328,24 @@ class CellularNetwork:
             self._pf = {cell_id: ProportionalFairState()
                         for cell_id in self.carriers}
         self._started = False
+        #: ``batched=False`` selects the per-subframe scalar reference
+        #: engine; the batched engine is byte-identical to it (block
+        #: channel sampling, skipped unobservable cells, single-cell CA
+        #: shortcut) and is the default.
+        self.batched = batched
+        #: ``id(channel)`` of every channel attached so far — a channel
+        #: shared by two users must be sampled in user-interleaved
+        #: order, so its users are excluded from block caching.
+        self._channel_users: dict[int, list[_User]] = {}
+        #: Users configured (not merely active) per cell; a cell with
+        #: no configured users and no monitors is unobservable.
+        self._cell_user_count = {c: 0 for c in self.carriers}
+        #: Pending HARQ retransmissions per cell (skip-safety guard).
+        self._cell_retx_count = {c: 0 for c in self.carriers}
+        #: Subframes an unobservable cell's tick was skipped — its
+        #: control-traffic RNG is caught up by replaying exactly this
+        #: many generator ticks if the cell ever becomes observable.
+        self._control_lag = {c: 0 for c in self.carriers}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -244,16 +387,70 @@ class CellularNetwork:
                 raise ValueError(f"unknown cell {cell}")
         user = _User(rnti, AggregationState(configured=list(cells)),
                      channel, category or UeCategory(),
-                     DownlinkQueue(queue_packets), ue)
+                     DownlinkQueue(queue_packets), ue,
+                     cqi_delay_subframes=self.cqi_delay_subframes)
         self._users[rnti] = user
         self._user_list = None
         self._refresh_active_cells(user)
+        self._register_channel(user, channel)
+        for cell in cells:
+            self._cell_user_count[cell] += 1
+            self._catch_up_control(cell)
         return user
+
+    def _register_channel(self, user: _User, channel: ChannelModel) -> None:
+        """Decide block-cache eligibility; demote sharers to scalar."""
+        peers = self._channel_users.setdefault(id(channel), [])
+        peers.append(user)
+        if len(peers) > 1:
+            # A shared channel must be sampled in the engine's user-
+            # interleaved order — demote every sharer to per-subframe
+            # sampling, rewinding any live cache so the stream sits
+            # exactly where interleaved sampling expects it.
+            for peer in peers:
+                peer.block_safe = False
+                peer.release_channel_block()
+        else:
+            user.block_safe = isinstance(channel, _BLOCK_SAFE_CHANNELS)
+
+    def _catch_up_control(self, cell_id: int) -> None:
+        """Replay control-generator ticks skipped while unobservable.
+
+        The replayed ticks draw the identical arrival/burst sequence the
+        scalar engine would have drawn subframe by subframe, so the
+        generator's RNG stream and in-flight burst list re-converge
+        exactly before the cell's next observed subframe.  Idle
+        stretches are crossed with :meth:`ControlTrafficGenerator.
+        advance_idle` — one block Poisson draw per stretch instead of a
+        Python-level tick per subframe — so catching a cell up after a
+        long unobserved gap costs O(bursty subframes), not O(gap).
+        """
+        lag = self._control_lag[cell_id]
+        if lag:
+            self._control_lag[cell_id] = 0
+            generator = self._control[cell_id]
+            advance = generator.advance_idle
+            generator_tick = generator.tick
+            while lag:
+                skipped = advance(lag)
+                lag -= skipped
+                if lag:
+                    generator_tick()
+                    lag -= 1
 
     def remove_user(self, rnti: int) -> None:
         """Detach a user (its queued traffic is discarded)."""
-        if self._users.pop(rnti, None) is not None:
+        user = self._users.pop(rnti, None)
+        if user is not None:
             self._user_list = None
+            for cell in user.agg.configured:
+                self._cell_user_count[cell] -= 1
+            user.release_channel_block()
+            peers = self._channel_users.get(id(user.channel))
+            if peers is not None and user in peers:
+                peers.remove(user)
+                if not peers:
+                    del self._channel_users[id(user.channel)]
 
     def _refresh_active_cells(self, user: _User) -> None:
         """Rebuild the user's cached active-cell set and PRB total."""
@@ -300,15 +497,29 @@ class CellularNetwork:
                         self.sim.schedule(0, user.ue.abandon_tb, harq.tb)
                 else:
                     kept.append(harq)
+            self._cell_retx_count[cell_id] -= (
+                len(self._retx[key]) - len(kept))
             if kept:
                 self._retx[key] = kept
             else:
                 del self._retx[key]
 
+        for cell in user.agg.configured:
+            self._cell_user_count[cell] -= 1
         user.agg = AggregationState(configured=list(new_cells))
+        for cell in new_cells:
+            self._cell_user_count[cell] += 1
+            self._catch_up_control(cell)
         user.suspended_until = self.subframe + interruption_subframes
         if channel is not None:
+            user.release_channel_block()
+            peers = self._channel_users.get(id(user.channel))
+            if peers is not None and user in peers:
+                peers.remove(user)
+                if not peers:
+                    del self._channel_users[id(user.channel)]
             user.channel = channel
+            self._register_channel(user, channel)
         self._refresh_active_cells(user)
         # The new cell group starts its CA bookkeeping from scratch.
         self.ca._users.pop(rnti, None)
@@ -326,6 +537,7 @@ class CellularNetwork:
     def attach_monitor(self, cell_id: int,
                        callback: Callable[[SubframeRecord], None]) -> None:
         """Subscribe a control-channel decoder to one cell."""
+        self._catch_up_control(cell_id)
         self._monitors[cell_id].append(callback)
 
     # ------------------------------------------------------------------
@@ -369,18 +581,55 @@ class CellularNetwork:
         if users is None:
             users = self._user_list = list(self._users.values())
         cqi_delay = self.cqi_delay_subframes
-        for user in users:
-            user.refresh_channel(now, cqi_delay)
-            if user.demand_source is not None:
-                self._inject_exogenous(user, subframe)
+        batched = self.batched
+        if batched:
+            for user in users:
+                if user.block_safe:
+                    # Refresh from the per-user channel block cache,
+                    # refilling it (one vectorized SINR→CQI→MCS→rate→BER
+                    # pass) whenever the cursor runs off the end.  Block
+                    # sampling consumes the channel RNG stream exactly
+                    # like per-subframe calls, so this is byte-identical
+                    # to refresh_channel.
+                    slot = user._blk_idx
+                    if slot >= user._blk_len:
+                        user.fill_channel_block(now, cqi_delay)
+                        slot = 0
+                    user.refresh_from_block(slot)
+                else:
+                    user.refresh_channel(now, cqi_delay)
+                if user.demand_source is not None:
+                    self._inject_exogenous(user, subframe)
+        else:
+            for user in users:
+                user.refresh_channel(now, cqi_delay)
+                if user.demand_source is not None:
+                    self._inject_exogenous(user, subframe)
 
         used_by_user: dict[int, int] = {}
         for cell_id, carrier in self.carriers.items():
+            if (batched and not self._monitors[cell_id]
+                    and self._cell_user_count[cell_id] == 0
+                    and self._cell_retx_count[cell_id] == 0
+                    and cell_id not in self._pf):
+                # Nothing on this cell can be observed (no monitor, no
+                # configured users, no HARQ in flight, no PF bookkeeping
+                # with amortized eviction): defer its control-traffic
+                # RNG draws.  _catch_up_control replays exactly this
+                # many ticks before the cell next becomes observable.
+                self._control_lag[cell_id] += 1
+                continue
             self._tick_cell(cell_id, carrier, subframe, used_by_user)
 
         observe = self.ca.observe
         used_get = used_by_user.get
         for user in users:
+            if batched and len(user.agg.configured) == 1:
+                # A single-cell user can neither activate nor deactivate
+                # a carrier (AggregationState gates both on the
+                # configured count), so observe() could only append to
+                # unobservable per-user history.
+                continue
             switched = observe(
                 subframe, user.rnti, user.agg,
                 used_prbs=used_get(user.rnti, 0),
@@ -398,32 +647,45 @@ class CellularNetwork:
 
     def _inject_exogenous(self, user: _User, subframe: int) -> None:
         bits = user.demand_source.bits(subframe)
+        if bits <= 0:
+            return
+        now = self.sim.now
+        flow_id = -user.rnti
+        push = user.queue.push
         while bits > 0:
             size = min(bits, 12_000)
-            packet = Packet(flow_id=-user.rnti, seq=user.exo_packet_seq,
-                            size_bits=size, sent_time_us=self.sim.now)
+            packet = Packet(flow_id=flow_id, seq=user.exo_packet_seq,
+                            size_bits=size, sent_time_us=now)
             user.exo_packet_seq += 1
-            user.queue.push(packet)
+            push(packet)
             bits -= size
 
     def _tick_cell(self, cell_id: int, carrier: CarrierConfig,
                    subframe: int, used_by_user: dict[int, int]) -> None:
         total_prbs = carrier.total_prbs
         available = total_prbs
-        record = SubframeRecord(subframe, cell_id, total_prbs)
+        callbacks = self._monitors[cell_id]
+        # DciMessage/SubframeRecord objects exist only for the decoders
+        # subscribed to this cell; with no monitor attached the
+        # allocation bookkeeping below is the whole observable effect,
+        # so the message construction is skipped outright.
+        messages: Optional[list[DciMessage]] = [] if callbacks else None
 
         # 1. HARQ retransmissions due this subframe.
-        due = self._retx.pop((cell_id, subframe), [])
-        deferred: list[_HarqState] = []
-        for harq in due:
-            if harq.tb.n_prbs > available:
-                deferred.append(harq)
-                continue
-            available -= harq.tb.n_prbs
-            self._transmit(harq, record, used_by_user)
-        if deferred:
-            self._retx.setdefault((cell_id, subframe + 1), []).extend(
-                deferred)
+        if self._cell_retx_count[cell_id]:
+            due = self._retx.pop((cell_id, subframe), [])
+            self._cell_retx_count[cell_id] -= len(due)
+            deferred: list[_HarqState] = []
+            for harq in due:
+                if harq.tb.n_prbs > available:
+                    deferred.append(harq)
+                    continue
+                available -= harq.tb.n_prbs
+                self._transmit(harq, subframe, messages, used_by_user)
+            if deferred:
+                self._retx.setdefault((cell_id, subframe + 1), []).extend(
+                    deferred)
+                self._cell_retx_count[cell_id] += len(deferred)
 
         # 2. Control-plane parameter-update bursts.
         for burst in self._control[cell_id].tick():
@@ -431,10 +693,11 @@ class CellularNetwork:
             if grant <= 0:
                 break
             available -= grant
-            record.messages.append(DciMessage(
-                subframe, cell_id, burst.rnti, grant, CONTROL_MCS, 1,
-                tbs_bits=grant * bits_per_prb(CONTROL_MCS, 1),
-                is_control=True))
+            if messages is not None:
+                messages.append(DciMessage(
+                    subframe, cell_id, burst.rnti, grant, CONTROL_MCS, 1,
+                    tbs_bits=grant * _CONTROL_BITS_PER_PRB,
+                    is_control=True))
 
         # 3. Equal-share allocation over backlogged data users.
         demands = []
@@ -469,9 +732,9 @@ class CellularNetwork:
             pulled = user.queue.pull(payload_budget, tb)
             if pulled:
                 tb.bits = int(pulled / (1.0 - PROTOCOL_OVERHEAD))
-            harq = _HarqState(tb, base_ber=sinr_to_ber(user.sinr_db))
+            harq = _HarqState(tb, base_ber=user.ber_now)
             served_bits[rnti] = tb.bits
-            self._transmit(harq, record, used_by_user)
+            self._transmit(harq, subframe, messages, used_by_user)
             if user.allocated_history is not None:
                 user.allocated_history.append((subframe, cell_id, n_prbs))
 
@@ -481,8 +744,9 @@ class CellularNetwork:
             self._pf[cell_id].record(served_bits, attached)
 
         # 5. Publish the decoded control channel.
-        callbacks = self._monitors[cell_id]
         if callbacks:
+            record = SubframeRecord(subframe, cell_id, total_prbs,
+                                    messages)
             perf = self.perf
             if perf is not None and perf.time_subsystems:
                 t0 = time.perf_counter()
@@ -493,14 +757,16 @@ class CellularNetwork:
                 for callback in callbacks:
                     callback(record)
 
-    def _transmit(self, harq: _HarqState, record: SubframeRecord,
+    def _transmit(self, harq: _HarqState, subframe: int,
+                  messages: Optional[list[DciMessage]],
                   used_by_user: dict[int, int]) -> None:
         tb = harq.tb
         user = self._users.get(tb.rnti)
-        record.messages.append(DciMessage(
-            record.subframe, tb.cell_id, tb.rnti, tb.n_prbs, tb.mcs,
-            tb.spatial_streams, tbs_bits=tb.bits,
-            new_data=(harq.attempt == 0)))
+        if messages is not None:
+            messages.append(DciMessage(
+                subframe, tb.cell_id, tb.rnti, tb.n_prbs, tb.mcs,
+                tb.spatial_streams, tbs_bits=tb.bits,
+                new_data=(harq.attempt == 0)))
         used_by_user[tb.rnti] = used_by_user.get(tb.rnti, 0) + tb.n_prbs
         if user is None:
             return  # user departed mid-HARQ
@@ -513,7 +779,8 @@ class CellularNetwork:
             return
         if harq.attempt < MAX_RETRANSMISSIONS:
             harq.attempt += 1
-            key = (tb.cell_id, record.subframe + RETX_DELAY_SUBFRAMES)
+            key = (tb.cell_id, subframe + RETX_DELAY_SUBFRAMES)
             self._retx.setdefault(key, []).append(harq)
+            self._cell_retx_count[tb.cell_id] += 1
         elif user.ue is not None:
             self.sim.schedule(SUBFRAME_US, user.ue.abandon_tb, tb)

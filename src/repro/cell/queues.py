@@ -84,15 +84,19 @@ class DownlinkQueue:
         if max_bits < 0:
             raise ValueError("max_bits must be non-negative")
         taken = 0
-        while taken < max_bits and self._entries:
-            entry = self._entries[0]
-            packet, remaining = entry
-            chunk = min(remaining, max_bits - taken)
+        entries = self._entries
+        touch = tb.touches.append
+        complete = tb.completes.append
+        while taken < max_bits and entries:
+            entry = entries[0]
+            remaining = entry[1]
+            room = max_bits - taken
+            chunk = remaining if remaining < room else room
             taken += chunk
-            entry[1] -= chunk
-            tb.touches.append(packet)
-            if entry[1] == 0:
-                tb.completes.append(packet)
-                self._entries.popleft()
+            entry[1] = remaining - chunk
+            touch(entry[0])
+            if remaining == chunk:
+                complete(entry[0])
+                entries.popleft()
         self.backlog_bits -= taken
         return taken

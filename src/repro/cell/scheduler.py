@@ -143,6 +143,13 @@ def allocate_prbs(available_prbs: int, demands: list[DemandEntry],
     remaining = available_prbs
     if not pending or remaining == 0:
         return grants
+    if len(pending) == 1:
+        # Lone backlogged user: every policy hands it the whole carrier
+        # (its weight share is 1), capped by its own demand — the
+        # water-filling/remainder rounds below reduce to exactly this.
+        d = pending[0]
+        grants[d.rnti] = min(d.demand_prbs, remaining)
+        return grants
 
     # Materialize per-user demand and weight once: both are pure
     # functions of the entry (and the frozen pf_state), and the old

@@ -46,6 +46,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -317,8 +318,22 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    """``repro perf``: run the hot-path benchmark suite."""
-    from .perf.bench import run_benchmarks
+    """``repro perf``: run (or compare) the hot-path benchmark suite."""
+    from .perf.bench import compare_benchmarks, run_benchmarks
+    if args.compare:
+        old_path, new_path = args.compare
+        with open(old_path) as fh:
+            old = json.load(fh)
+        with open(new_path) as fh:
+            new = json.load(fh)
+        lines, regressions = compare_benchmarks(old, new)
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"warning: possible regression in "
+                  f"{', '.join(regressions)} (advisory only — wall "
+                  f"clocks are machine/load dependent)", file=sys.stderr)
+        return 0
     doc = run_benchmarks(smoke=args.smoke, progress=sys.stderr)
     benches = doc["benches"]
     loop = benches["subframe_loop"]
@@ -327,6 +342,13 @@ def cmd_perf(args: argparse.Namespace) -> int:
          f'{benches["estimator"]["estimates_per_s"]:,.0f} estimates/s'],
         ["scheduler", benches["scheduler"]["wall_s"],
          f'{benches["scheduler"]["calls_per_s"]:,.0f} allocations/s'],
+        ["channel_block",
+         benches["channel_block"]["block_wall_s"],
+         f'{benches["channel_block"]["block_subframes_per_s"]:,.0f} '
+         f'subframes/s ({benches["channel_block"]["speedup"]:g}x scalar)'],
+        ["dci_batch", benches["dci_batch"]["batch_wall_s"],
+         f'{benches["dci_batch"]["batch_rows_per_s"]:,.0f} rows/s '
+         f'({benches["dci_batch"]["speedup"]:g}x scalar)'],
         ["subframe_loop", loop["wall_s"],
          f'{loop["ticks_per_s"]:,.0f} ticks/s '
          f'({loop["sim_s"]:g} sim-s)'],
@@ -499,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CI-sized benchmarks (seconds, not minutes)")
     p_perf.add_argument("--out", default=None, metavar="FILE",
                         help="write the BENCH_hotpath.json document here")
+    p_perf.add_argument("--compare", nargs=2, default=None,
+                        metavar=("OLD.json", "NEW.json"),
+                        help="diff two benchmark documents on their "
+                             "headline metrics instead of running; "
+                             "always exits 0 (advisory)")
     p_perf.set_defaults(func=cmd_perf)
 
     p_list = sub.add_parser("list", help="list schemes and experiments")

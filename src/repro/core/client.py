@@ -70,6 +70,9 @@ class PbeClient(AckingReceiver):
         self._under_threshold_run = 0
         #: Receive-rate window: (arrival_us, bits).
         self._recent: deque[tuple[int, int]] = deque()
+        #: Running Σ size_bits over ``_recent`` (ints, so the rolling
+        #: sum is exactly the re-summed window).
+        self._recent_bits = 0
         self._last_report: Optional[MonitorReport] = None
         self.state_changes: list[tuple[int, str]] = []
         #: Time spent in each state, µs (for §6.3.1's 18%/4% statistic).
@@ -98,8 +101,8 @@ class PbeClient(AckingReceiver):
     def _receive_rate_bps(self, now_us: int, window_us: int) -> float:
         horizon = now_us - window_us
         while self._recent and self._recent[0][0] < horizon:
-            self._recent.popleft()
-        bits = sum(b for _, b in self._recent)
+            self._recent_bits -= self._recent.popleft()[1]
+        bits = self._recent_bits
         return bits * US_PER_S / window_us if window_us > 0 else 0.0
 
     def _npkt(self, ct_bits_per_subframe: float) -> int:
@@ -119,6 +122,7 @@ class PbeClient(AckingReceiver):
         delay = now - packet.sent_time_us
         self._dprop.update(now, delay)
         self._recent.append((now, packet.size_bits))
+        self._recent_bits += packet.size_bits
 
         rtprop_us = self._rtprop_us(packet)
         rtprop_subframes = max(1, rtprop_us // 1_000)

@@ -224,10 +224,11 @@ class PbeSender(CongestionControl):
         if self.state == FALLBACK:
             self._resync_after_fallback(now)
         self._last_fresh_us = now
-        self.target_rate_bps = feedback.target_rate_bps
+        target_rate = feedback.target_rate_bps
+        self.target_rate_bps = target_rate
         self.fair_rate_bps = feedback.fair_rate_bps
         if self.guard is not None:
-            self.guard.observe(now, feedback.target_rate_bps,
+            self.guard.observe(now, target_rate,
                                ctx.delivery_rate_bps)
         if (self.state == STARTUP and self._ramp_start_us is None
                 and self.fair_rate_bps > 0):

@@ -1,0 +1,167 @@
+"""Byte-identity fingerprints for whole simulation runs.
+
+The repo's invariant since PR 4 is that performance work never changes
+behaviour: every optimized path must be *byte-identical* to the code it
+replaced.  This module turns one simulated run into a SHA-256 digest of
+everything observable — per-packet delivery logs, sender/client state
+machines, carrier-aggregation decisions, and the monitor's internal
+estimator state — so two engine variants (e.g. the batched subframe
+engine vs. the scalar reference) can be compared with a string equality.
+
+:func:`fingerprint_configs` defines the 6-configuration suite the perf
+PRs verify against; :func:`run_fingerprint` executes one configuration
+and returns its digest.  ``tests/test_batch_engine.py`` adds randomized
+configurations on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..monitor.pbe import PbeMonitor
+from ..phy.channel import GaussMarkovChannel, TraceChannel
+from .runner import Experiment, FlowSpec
+from .scenarios import Scenario
+
+
+def _canon(part: object) -> object:
+    """Canonicalize to plain Python values before hashing.
+
+    The engines store bitwise-equal numbers with different Python types
+    (the scalar path leaves ``np.float64`` where the batched path's
+    ``.tolist()`` produces ``float``); ``repr`` would tell them apart,
+    the IEEE bit pattern does not.  Identity means identical *values*.
+    """
+    if isinstance(part, np.generic):
+        return part.item()
+    if isinstance(part, (list, tuple)):
+        return tuple(_canon(p) for p in part)
+    if isinstance(part, dict):
+        return tuple(sorted((repr(_canon(k)), _canon(v))
+                            for k, v in part.items()))
+    return part
+
+
+def _hash_update(hasher: "hashlib._Hash", *parts: object) -> None:
+    for part in parts:
+        hasher.update(repr(_canon(part)).encode())
+        hasher.update(b"\x00")
+
+
+def _monitor_digest(hasher: "hashlib._Hash", monitor: PbeMonitor) -> None:
+    """Fold the monitor's full internal state into the digest.
+
+    Monitor state that never fed back into the sender would not show up
+    in the packet log, so it is hashed explicitly — this is what makes
+    the fingerprint sensitive to batch-ingest bugs on quiet cells.
+    """
+    _hash_update(hasher, monitor.last_subframe, monitor.gap_events,
+                 monitor.missed_subframes, monitor.active_cells())
+    for cell_id in sorted(monitor.estimators):
+        est = monitor.estimators[cell_id]
+        cap1 = est._cap + 1
+        _hash_update(
+            hasher, cell_id, est._count, est.last_subframe,
+            est.last_own_grant_subframe,
+            est._cum_pa[est._count % cap1],
+            est._cum_idle[est._count % cap1],
+            est._cum_rate[est._count % cap1],
+            tuple(est._subframes), tuple(est._bers),
+            sorted((rnti, act.active_subframes, act.total_prbs)
+                   for rnti, act in est.users._activity.items()))
+        decoder = monitor.decoders[cell_id]
+        _hash_update(hasher, decoder.subframes_decoded,
+                     decoder.messages_decoded, decoder.search_attempts)
+
+
+def run_fingerprint(scenario: Scenario, specs: list[FlowSpec],
+                    report_window: int = 40, batched: bool = True) -> str:
+    """Run one configuration and digest everything observable.
+
+    ``batched=False`` runs the same configuration on the scalar
+    reference engine; the equivalence tests assert both digests match.
+    """
+    experiment = Experiment(scenario, batched=batched)
+    handles = [experiment.add_flow(spec) for spec in specs]
+    results = experiment.run()
+    hasher = hashlib.sha256()
+    _hash_update(hasher, experiment.sim.now, experiment.network.subframe)
+    for handle, result in zip(handles, results):
+        stats = result.stats
+        _hash_update(
+            hasher, tuple(stats.arrival_us), tuple(stats.size_bits),
+            tuple(stats.delay_us), result.sent_packets,
+            result.lost_packets, result.ca_activations,
+            result.state_fractions, result.sender_states,
+            result.fault_stats)
+        if handle.monitor is not None:
+            _monitor_digest(hasher, handle.monitor)
+            report = handle.monitor.report(
+                report_window, now_subframe=experiment.network.subframe)
+            _hash_update(hasher, report.physical_capacity,
+                         report.transport_capacity, report.fair_share,
+                         report.transport_fair_share,
+                         report.users_per_cell, report.active_cells,
+                         report.staleness_subframes, report.confidence)
+    return hasher.hexdigest()
+
+
+def fingerprint_configs(duration_s: float = 2.0) \
+        -> dict[str, tuple[Scenario, list[FlowSpec]]]:
+    """The 6-configuration byte-identity suite.
+
+    Covers: all three channel models, 1/2/3 aggregated cells (CA on and
+    off), busy and idle cells, CQI reporting delay, a second competing
+    scheme, and decoder/ACK fault injection.
+    """
+    trace = TraceChannel(
+        [(0, -92.0), (400_000, -101.0), (900_000, -88.0),
+         (1_400_000, -104.0), (2_000_000, -95.0)],
+        fading_std_db=1.0, seed=77)
+    gauss = GaussMarkovChannel(
+        mean_sinr_db=15.0, std_db=3.0, memory=0.9,
+        coherence_us=8_000, seed=42)
+    faults = {"seed": 5, "dci_miss_rate": 0.05, "dci_false_rate": 0.002,
+              "ack_loss_rate": 0.01}
+    return {
+        "busy_2cc_pbe": (
+            Scenario(name="fp-busy-2cc", aggregated_cells=2,
+                     mean_sinr_db=18.0, busy=True, background_users=3,
+                     duration_s=duration_s, seed=11),
+            [FlowSpec(scheme="pbe")]),
+        "idle_3cc_pbe": (
+            Scenario(name="fp-idle-3cc", aggregated_cells=3,
+                     mean_sinr_db=23.0, busy=False,
+                     duration_s=duration_s, seed=12),
+            [FlowSpec(scheme="pbe")]),
+        "busy_1cc_gauss_cqi": (
+            Scenario(name="fp-gauss-1cc", aggregated_cells=1,
+                     mean_sinr_db=15.0, busy=True, background_users=2,
+                     cqi_delay_subframes=4, duration_s=duration_s,
+                     seed=13),
+            [FlowSpec(scheme="pbe", channel=gauss)]),
+        "trace_2cc_pbe": (
+            Scenario(name="fp-trace-2cc", aggregated_cells=2,
+                     mean_sinr_db=18.0, busy=False,
+                     duration_s=duration_s, seed=14),
+            [FlowSpec(scheme="pbe", channel=trace)]),
+        "busy_2cc_bbr": (
+            Scenario(name="fp-bbr-2cc", aggregated_cells=2,
+                     mean_sinr_db=19.0, busy=True, background_users=2,
+                     duration_s=duration_s, seed=15),
+            [FlowSpec(scheme="bbr")]),
+        "faulted_2cc_pbe": (
+            Scenario(name="fp-faults-2cc", aggregated_cells=2,
+                     mean_sinr_db=17.0, busy=True, background_users=2,
+                     duration_s=duration_s, seed=16),
+            [FlowSpec(scheme="pbe", faults=faults)]),
+    }
+
+
+def fingerprint_suite(duration_s: float = 2.0) -> dict[str, str]:
+    """Run the whole 6-configuration suite; ``{name: digest}``."""
+    return {name: run_fingerprint(scenario, specs)
+            for name, (scenario, specs) in
+            fingerprint_configs(duration_s).items()}

@@ -36,7 +36,6 @@ from ..net.link import BatchingPipe, FlowDemux, Link, Receiver
 from ..net.sim import Simulator
 from ..net.units import US_PER_S, us_from_seconds
 from ..phy.channel import ChannelModel
-from ..phy.error import sinr_to_ber
 from ..traces.workload import OnOffRandomDemand
 from .metrics import FlowSummary, summarize_flow
 from .scenarios import Scenario
@@ -171,13 +170,18 @@ class Experiment:
     """One scenario's simulation: network plus any number of flows."""
 
     def __init__(self, scenario: Scenario,
-                 perf_counters=None) -> None:
+                 perf_counters=None, batched: bool = True) -> None:
         self.scenario = scenario
         #: Optional :class:`repro.perf.PerfCounters`; wired into both
         #: the simulator and the MAC engine (observability only — an
         #: instrumented run stays byte-identical).
         self.perf = perf_counters
         self.sim = Simulator(perf_counters=perf_counters)
+        #: ``batched=False`` selects the scalar reference engine — the
+        #: batched engine is byte-identical to it (the equivalence tests
+        #: run both and compare fingerprints).  The flag also flows into
+        #: each flow's monitor so a scalar run is scalar end to end.
+        self.batched = batched
         self.network = CellularNetwork(
             self.sim, scenario.carriers,
             control_arrivals_per_subframe=(
@@ -185,7 +189,8 @@ class Experiment:
             scheduler_policy=scenario.scheduler_policy,
             cqi_delay_subframes=scenario.cqi_delay_subframes,
             seed=scenario.seed,
-            perf_counters=perf_counters)
+            perf_counters=perf_counters,
+            batched=batched)
         self.flows: list[FlowHandle] = []
         self._add_background_users()
         self.network.start()
@@ -314,12 +319,19 @@ class Experiment:
 
         def own_rate_hint() -> tuple[int, float]:
             user = network.user(spec.rnti)
-            return user.bits_per_prb_now, sinr_to_ber(user.sinr_db)
+            return user.bits_per_prb_now, user.ber_now
 
         cell_prbs = {c: network.carriers[c].total_prbs for c in cells}
+        monitor_kwargs = dict(spec.pbe_monitor_kwargs)
+        if fault_spec is not None and fault_spec.impairs_decoder:
+            # LossyDecoder drops/forges per record; the monitor must run
+            # the per-record reference path so the impaired stream keeps
+            # its exact scalar semantics.
+            monitor_kwargs.setdefault("batch_ingest", False)
+        monitor_kwargs.setdefault("batch_ingest", self.batched)
         monitor = PbeMonitor(spec.rnti, cell_prbs, primary_cell=cells[0],
                              own_rate_hint=own_rate_hint,
-                             **spec.pbe_monitor_kwargs)
+                             **monitor_kwargs)
         lossy_decoders: dict = {}
         for cell_id in cells:
             callback = monitor.decoder_callback(cell_id)

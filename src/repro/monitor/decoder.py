@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..phy.dci import SubframeRecord
+from ..phy.dci import SubframeBatch, SubframeRecord
 
 #: DCI formats defined by the 3GPP standard the decoder must try (§5).
 N_DCI_FORMATS = 10
@@ -57,6 +57,28 @@ class ControlChannelDecoder:
         self._pending.append(record)
         if len(self._pending) > self.decode_latency_subframes:
             self.sink(self._pending.pop(0))
+
+    def ingest_batch(self, batch: SubframeBatch) -> None:
+        """Fold a columnar block's decode statistics in, O(1) per block.
+
+        The per-record arithmetic telescopes: each record costs
+        ``occupied · N_DCI_FORMATS + (N_SEARCH_POSITIONS - occupied)``
+        search attempts, so a block of ``n`` records with ``m`` total
+        messages costs ``m·(N_DCI_FORMATS - 1) + n·N_SEARCH_POSITIONS``
+        — identical to ``n`` scalar :meth:`on_subframe` calls.  Batch
+        ingestion bypasses the latency buffer and the sink; the batched
+        monitor drains blocks itself (scalar ingest is the reference
+        path for latency/fault configurations).
+        """
+        if batch.cell_id != self.cell_id:
+            raise ValueError(
+                f"decoder for cell {self.cell_id} received batch for "
+                f"cell {batch.cell_id}")
+        n = len(batch)
+        self.subframes_decoded += n
+        self.messages_decoded += batch.n_messages
+        self.search_attempts += (batch.n_messages * (N_DCI_FORMATS - 1)
+                                 + n * N_SEARCH_POSITIONS)
 
     def flush(self) -> None:
         """Drain the latency buffer at end of stream.

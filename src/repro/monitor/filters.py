@@ -67,22 +67,32 @@ class ActiveUserFilter:
 
     def update(self, record: SubframeRecord) -> None:
         """Fold one decoded subframe into the window."""
-        entry = _SubframeUsers(record.subframe)
-        allocations = entry.allocations
-        activity = self._activity
+        allocations: dict[int, int] = {}
         for message in record.messages:
             if message.n_prbs > 0:
                 allocations[message.rnti] = (
                     allocations.get(message.rnti, 0) + message.n_prbs)
+        self.update_allocations(record.subframe, allocations)
+
+    def update_allocations(self, subframe: int,
+                           allocations: dict[int, int]) -> None:
+        """Fold one subframe's prebuilt ``{rnti: prbs}`` map in.
+
+        Batch-ingest entry point: the columnar drain already scans the
+        message columns once, so it hands the aggregated allocations
+        straight in instead of paying a second per-message pass here.
+        """
+        activity = self._activity
         for rnti, prbs in allocations.items():
             act = activity.get(rnti)
             if act is None:
                 act = activity[rnti] = UserActivity()
             act.active_subframes += 1
             act.total_prbs += prbs
-        self._window.append(entry)
-        while len(self._window) > self.window_subframes:
-            evicted = self._window.popleft()
+        window = self._window
+        window.append(_SubframeUsers(subframe, allocations))
+        if len(window) > self.window_subframes:
+            evicted = window.popleft()
             for rnti, prbs in evicted.allocations.items():
                 act = activity[rnti]
                 act.active_subframes -= 1

@@ -1,6 +1,6 @@
 """Hot-path benchmark suite → ``BENCH_hotpath.json``.
 
-Four benches cover the measured hot paths of the subframe loop, from
+Six benches cover the measured hot paths of the subframe loop, from
 micro to macro:
 
 ``estimator``
@@ -10,18 +10,28 @@ micro to macro:
 ``scheduler``
     :func:`allocate_prbs` water-filling over a mixed population of
     small capped demands and large backlogged ones.
+``channel_block``
+    the per-subframe SINR→MCS→rate→BER chain, sampled one subframe at
+    a time versus in 64-subframe blocks via
+    :meth:`ChannelModel.sinr_block` and the vectorized PHY maps (the
+    two paths are bitwise-identical; this measures the speed gap).
+``dci_batch``
+    :class:`~repro.monitor.pbe.PbeMonitor` ingest of a busy cell's
+    control channel: per-record reference path versus the columnar
+    :class:`~repro.phy.dci.SubframeBatch` fold.
 ``subframe_loop``
     a busy 2-carrier cell with a PBE flow and background users,
     reported as subframes (ticks) per wall second via
     :class:`repro.perf.PerfCounters`.
 ``sweep``
-    the end-to-end Table-1-style stationary sweep (the ISSUE's ≥2×
-    acceptance metric is measured on this number).
+    the end-to-end Table-1-style stationary sweep.
 
 ``run_benchmarks`` returns a JSON-ready dict (schema
-``repro.perf/bench_hotpath/v1``).  ``python -m repro perf`` writes it
-to disk; CI records the file as an artifact so regressions show up as
-a trajectory rather than a gate.
+``repro.perf/bench_hotpath/v2``).  ``python -m repro perf`` writes it
+to disk; ``python -m repro perf --compare OLD.json NEW.json`` diffs
+two such documents.  CI records the file as an artifact and
+soft-compares against the committed baseline so regressions show up
+as a trajectory (and a warning), not a gate.
 """
 
 from __future__ import annotations
@@ -36,8 +46,9 @@ from ..monitor.capacity import CellCapacityEstimator
 from ..phy.dci import DciMessage, SubframeRecord
 from . import PerfCounters
 
-#: Version tag of the emitted document.
-SCHEMA = "repro.perf/bench_hotpath/v1"
+#: Version tag of the emitted document.  v2 added the
+#: ``channel_block`` and ``dci_batch`` microbenches.
+SCHEMA = "repro.perf/bench_hotpath/v2"
 
 
 def _bench_estimator(n_subframes: int) -> dict:
@@ -83,6 +94,95 @@ def _bench_scheduler(rounds: int) -> dict:
     return {"users": len(demands), "calls": calls,
             "wall_s": round(wall, 6),
             "calls_per_s": round(calls / wall, 1) if wall else 0.0}
+
+
+#: Subframes per channel block in the batched engine (mirrors
+#: :data:`repro.cell.basestation.CHANNEL_BLOCK_SUBFRAMES`).
+_BLOCK = 64
+
+
+def _bench_channel_block(n_subframes: int) -> dict:
+    """Scalar vs block-sampled SINR→MCS→rate→BER chain."""
+    from ..net.units import SUBFRAME_US
+    from ..phy.channel import GaussMarkovChannel
+    from ..phy.error import sinr_to_ber, sinr_to_ber_block
+    from ..phy.mcs import (bits_per_prb, bits_per_prb_block, sinr_to_mcs,
+                           sinr_to_mcs_block)
+
+    n_subframes -= n_subframes % _BLOCK
+    channel = GaussMarkovChannel(mean_sinr_db=18.0, seed=3)
+    now = 0
+    t0 = time.perf_counter()
+    for _ in range(n_subframes):
+        sinr = channel.sinr_db(now)
+        bits_per_prb(sinr_to_mcs(sinr), 2)
+        sinr_to_ber(sinr)
+        now += SUBFRAME_US
+    scalar_wall = time.perf_counter() - t0
+
+    channel = GaussMarkovChannel(mean_sinr_db=18.0, seed=3)
+    now = 0
+    t0 = time.perf_counter()
+    for _ in range(n_subframes // _BLOCK):
+        sinr = channel.sinr_block(now, _BLOCK)
+        bits_per_prb_block(sinr_to_mcs_block(sinr), 2)
+        sinr_to_ber_block(sinr)
+        now += _BLOCK * SUBFRAME_US
+    block_wall = time.perf_counter() - t0
+
+    return {
+        "subframes": n_subframes, "block_subframes": _BLOCK,
+        "scalar_wall_s": round(scalar_wall, 6),
+        "block_wall_s": round(block_wall, 6),
+        "scalar_subframes_per_s": (round(n_subframes / scalar_wall, 1)
+                                   if scalar_wall else 0.0),
+        "block_subframes_per_s": (round(n_subframes / block_wall, 1)
+                                  if block_wall else 0.0),
+        "speedup": (round(scalar_wall / block_wall, 2)
+                    if block_wall else 0.0),
+    }
+
+
+def _bench_dci_batch(n_subframes: int) -> dict:
+    """Per-record vs columnar PbeMonitor ingest of a busy cell."""
+    from ..monitor.pbe import PbeMonitor
+
+    def records():
+        for sf in range(n_subframes):
+            record = SubframeRecord(sf, 0, 100)
+            msgs = record.messages
+            msgs.append(DciMessage(sf, 0, 1, 20 + sf % 5, 15, 2,
+                                   tbs_bits=(20 + sf % 5) * 500))
+            for user in range(4):
+                msgs.append(DciMessage(sf, 0, 100 + user, 10 + user, 12, 1,
+                                       tbs_bits=(10 + user) * 300))
+            yield sf, record
+
+    walls = {}
+    for mode, batched in (("scalar", False), ("batch", True)):
+        monitor = PbeMonitor(own_rnti=1, cell_prbs={0: 100},
+                             primary_cell=0,
+                             own_rate_hint=lambda: (500, 1e-5),
+                             batch_ingest=batched)
+        callback = monitor.decoder_callback(0)
+        t0 = time.perf_counter()
+        for sf, record in records():
+            callback(record)
+            if sf % 20 == 19:
+                monitor.report(40, now_subframe=sf)
+        walls[mode] = time.perf_counter() - t0
+
+    return {
+        "subframes": n_subframes,
+        "scalar_wall_s": round(walls["scalar"], 6),
+        "batch_wall_s": round(walls["batch"], 6),
+        "scalar_rows_per_s": (round(n_subframes / walls["scalar"], 1)
+                              if walls["scalar"] else 0.0),
+        "batch_rows_per_s": (round(n_subframes / walls["batch"], 1)
+                             if walls["batch"] else 0.0),
+        "speedup": (round(walls["scalar"] / walls["batch"], 2)
+                    if walls["batch"] else 0.0),
+    }
 
 
 def _bench_subframe_loop(duration_s: float) -> dict:
@@ -132,6 +232,10 @@ def run_benchmarks(smoke: bool = False,
     estimator = _bench_estimator(2_000 if smoke else 20_000)
     say("scheduler bench...")
     scheduler = _bench_scheduler(2_000 if smoke else 20_000)
+    say("channel-block bench...")
+    channel_block = _bench_channel_block(10_000 if smoke else 100_000)
+    say("dci-batch bench...")
+    dci_batch = _bench_dci_batch(5_000 if smoke else 50_000)
     say("subframe-loop bench...")
     loop = _bench_subframe_loop(1.0 if smoke else 6.0)
     say("end-to-end sweep bench...")
@@ -147,7 +251,69 @@ def run_benchmarks(smoke: bool = False,
         "benches": {
             "estimator": estimator,
             "scheduler": scheduler,
+            "channel_block": channel_block,
+            "dci_batch": dci_batch,
             "subframe_loop": loop,
             "sweep": sweep,
         },
     }
+
+
+#: Headline metric per bench for :func:`compare_benchmarks` —
+#: ``(json key, higher_is_better)``.
+_HEADLINE = {
+    "estimator": ("estimates_per_s", True),
+    "scheduler": ("calls_per_s", True),
+    "channel_block": ("block_subframes_per_s", True),
+    "dci_batch": ("batch_rows_per_s", True),
+    "subframe_loop": ("ticks_per_s", True),
+    "sweep": ("wall_s", False),
+}
+
+#: Relative slowdown beyond which :func:`compare_benchmarks` flags a
+#: bench as regressed.  Wide on purpose: single-run wall clocks on
+#: shared CI runners jitter by tens of percent.
+REGRESSION_TOLERANCE = 0.25
+
+
+def compare_benchmarks(old: dict, new: dict) -> tuple[list[str], list[str]]:
+    """Diff two benchmark documents on their headline metrics.
+
+    Returns ``(lines, regressions)``: human-readable per-bench delta
+    lines, and the names of benches whose headline metric got worse by
+    more than :data:`REGRESSION_TOLERANCE`.  Comparison is advisory —
+    callers are expected to warn, not fail (wall-clock numbers from
+    different machines or loads are not commensurable).
+    """
+    lines = []
+    regressions = []
+    if old.get("schema") != new.get("schema"):
+        lines.append(f"note: schema differs ({old.get('schema')} vs "
+                     f"{new.get('schema')}); comparing shared benches only")
+    if old.get("smoke") != new.get("smoke"):
+        lines.append(f"note: smoke flags differ ({old.get('smoke')} vs "
+                     f"{new.get('smoke')}); sizes are not comparable")
+    old_benches = old.get("benches", {})
+    new_benches = new.get("benches", {})
+    for name in new_benches:
+        if name not in old_benches:
+            lines.append(f"{name}: new bench (no baseline)")
+            continue
+        key, higher_better = _HEADLINE.get(name, ("wall_s", False))
+        before = old_benches[name].get(key)
+        after = new_benches[name].get(key)
+        if not before or after is None:
+            lines.append(f"{name}: {key} missing; skipped")
+            continue
+        change = (after - before) / before
+        improved = change > 0 if higher_better else change < 0
+        direction = "faster" if improved else "slower"
+        lines.append(f"{name}: {key} {before:g} -> {after:g} "
+                     f"({abs(change) * 100.0:.1f}% {direction})")
+        loss = -change if higher_better else change
+        if loss > REGRESSION_TOLERANCE:
+            regressions.append(name)
+    for name in old_benches:
+        if name not in new_benches:
+            lines.append(f"{name}: dropped (present only in baseline)")
+    return lines, regressions

@@ -19,10 +19,13 @@ Models:
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Sequence
 
 import numpy as np
+
+from ..net.units import SUBFRAME_US
 
 #: Thermal noise floor plus typical interference margin for a 20 MHz
 #: carrier, dBm.  RSSI −85 dBm maps to ≈26 dB SINR and −113 dBm to ≈−2 dB,
@@ -43,6 +46,34 @@ class ChannelModel:
         """SINR (dB) seen by the user at simulation time ``now_us``."""
         raise NotImplementedError
 
+    def sinr_block(self, start_us: int, n_subframes: int) -> np.ndarray:
+        """SINR for ``n_subframes`` consecutive subframes, as one array.
+
+        Equivalent — including the random stream consumed — to calling
+        :meth:`sinr_db` once per subframe at ``start_us``,
+        ``start_us + SUBFRAME_US``, …; the batched engine relies on the
+        bitwise identity of the two paths.  Subclasses override this
+        with a vectorized implementation; the base class falls back to
+        the scalar calls so custom channel models stay correct.
+        """
+        return np.array([self.sinr_db(start_us + k * SUBFRAME_US)
+                         for k in range(n_subframes)], dtype=np.float64)
+
+    def state_checkpoint(self) -> object:
+        """Opaque snapshot of the sampling state (RNG position etc.).
+
+        Together with :meth:`state_restore` this lets a block-sampling
+        caller *rewind* draws it speculated past — e.g. when a channel
+        block cache is released half-consumed — leaving the model
+        exactly where per-subframe sampling would have left it.  Only
+        models declared block-safe by the engine need to implement it.
+        """
+        raise NotImplementedError
+
+    def state_restore(self, state: object) -> None:
+        """Restore a snapshot taken by :meth:`state_checkpoint`."""
+        raise NotImplementedError
+
 
 class StaticChannel(ChannelModel):
     """Constant mean SINR with i.i.d. Gaussian fast-fading jitter."""
@@ -59,6 +90,20 @@ class StaticChannel(ChannelModel):
         if self.fading_std_db == 0.0:
             return self.mean_sinr_db
         return self.mean_sinr_db + self._rng.normal(0.0, self.fading_std_db)
+
+    def sinr_block(self, start_us: int, n_subframes: int) -> np.ndarray:
+        # One block draw consumes the generator stream identically to n
+        # scalar draws (numpy fills arrays with sequential variates).
+        if self.fading_std_db == 0.0:
+            return np.full(n_subframes, self.mean_sinr_db)
+        return self.mean_sinr_db + self._rng.normal(
+            0.0, self.fading_std_db, n_subframes)
+
+    def state_checkpoint(self) -> object:
+        return self._rng.bit_generator.state
+
+    def state_restore(self, state: object) -> None:
+        self._rng.bit_generator.state = state
 
 
 class GaussMarkovChannel(ChannelModel):
@@ -93,6 +138,42 @@ class GaussMarkovChannel(ChannelModel):
             self._last_step += 1
         return self.mean_sinr_db + self._state
 
+    def sinr_block(self, start_us: int, n_subframes: int) -> np.ndarray:
+        if n_subframes == 0:
+            return np.empty(0, dtype=np.float64)
+        steps = ((start_us + SUBFRAME_US
+                  * np.arange(n_subframes, dtype=np.int64))
+                 // self.coherence_us)
+        last = self._last_step
+        final = int(steps[-1])
+        if final <= last:
+            return np.full(n_subframes, self.mean_sinr_db + self._state)
+        # Draw exactly the innovations the scalar while-loop would, in
+        # one block, then run the (inherently sequential) AR(1)
+        # recurrence over them — the state trajectory per coherence
+        # step, from which every subframe's value is a gather.
+        innovations = self._rng.normal(0.0, self.std_db, final - last)
+        scale = math.sqrt(1 - self.memory ** 2)
+        memory = self.memory
+        state = self._state
+        states = np.empty(final - last + 1, dtype=np.float64)
+        states[0] = state
+        for i, innovation in enumerate(innovations):
+            state = memory * state + scale * innovation
+            states[i + 1] = state
+        self._state = state
+        self._last_step = final
+        return self.mean_sinr_db + states[np.maximum(steps - last, 0)]
+
+    def state_checkpoint(self) -> object:
+        return (self._rng.bit_generator.state, self._state, self._last_step)
+
+    def state_restore(self, state: object) -> None:
+        rng_state, ar_state, last_step = state
+        self._rng.bit_generator.state = rng_state
+        self._state = ar_state
+        self._last_step = last_step
+
 
 class TraceChannel(ChannelModel):
     """Piecewise-linear RSSI trajectory (mobility experiments).
@@ -115,13 +196,56 @@ class TraceChannel(ChannelModel):
         self.fading_std_db = fading_std_db
         self.noise_floor_dbm = noise_floor_dbm
         self._rng = np.random.default_rng(seed)
+        # Precomputed per-segment slopes, replicating np.interp's exact
+        # arithmetic — slope = Δy/Δx, value = slope·(x-x_lo) + y_lo — so
+        # per-call interpolation is one bisect plus one fused multiply-
+        # add instead of an np.interp array round-trip.
+        rssi = [float(r) for _, r in waypoints]
+        self._times_list = times
+        self._rssi_list = rssi
+        self._slopes_list = [
+            (rssi[j + 1] - rssi[j]) / (times[j + 1] - times[j])
+            for j in range(len(times) - 1)]
+        self._slopes = np.asarray(self._slopes_list, dtype=np.float64)
 
     def rssi_dbm(self, now_us: int) -> float:
         """Interpolated RSSI along the trajectory."""
-        return float(np.interp(now_us, self._times, self._rssi))
+        times = self._times_list
+        if now_us <= times[0]:
+            return self._rssi_list[0]
+        if now_us >= times[-1]:
+            return self._rssi_list[-1]
+        j = bisect.bisect_right(times, now_us) - 1
+        return (self._slopes_list[j] * (now_us - times[j])
+                + self._rssi_list[j])
+
+    def _rssi_block(self, times_us: np.ndarray) -> np.ndarray:
+        times, rssi = self._times, self._rssi
+        if len(times) == 1:
+            return np.full(len(times_us), rssi[0])
+        j = np.clip(np.searchsorted(times, times_us, side="right") - 1,
+                    0, len(times) - 2)
+        out = self._slopes[j] * (times_us - times[j]) + rssi[j]
+        out[times_us <= times[0]] = rssi[0]
+        out[times_us >= times[-1]] = rssi[-1]
+        return out
 
     def sinr_db(self, now_us: int) -> float:
         sinr = rssi_to_sinr_db(self.rssi_dbm(now_us), self.noise_floor_dbm)
         if self.fading_std_db > 0:
             sinr += self._rng.normal(0.0, self.fading_std_db)
         return sinr
+
+    def sinr_block(self, start_us: int, n_subframes: int) -> np.ndarray:
+        times_us = (start_us
+                    + SUBFRAME_US * np.arange(n_subframes, dtype=np.int64))
+        sinr = self._rssi_block(times_us) - self.noise_floor_dbm
+        if self.fading_std_db > 0:
+            sinr += self._rng.normal(0.0, self.fading_std_db, n_subframes)
+        return sinr
+
+    def state_checkpoint(self) -> object:
+        return self._rng.bit_generator.state
+
+    def state_restore(self, state: object) -> None:
+        self._rng.bit_generator.state = state

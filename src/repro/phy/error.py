@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: BER calibration anchors: (SINR dB, BER).
 _ANCHOR_HIGH = (13.0, 1e-6)
 _ANCHOR_LOW = (-2.0, 5e-6)
@@ -34,6 +36,19 @@ def sinr_to_ber(sinr_db: float) -> float:
     """Residual post-FEC bit error rate at a given SINR."""
     ber = 10.0 ** (_INTERCEPT + _SLOPE * sinr_db)
     return min(MAX_BER, max(MIN_BER, ber))
+
+
+def sinr_to_ber_block(sinr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`sinr_to_ber` over an SINR trajectory.
+
+    Same log-linear map and clamp.  ``np.float_power`` (not ``**``) is
+    deliberate: the ``**`` array ufunc takes a SIMD path whose results
+    differ from libm's ``pow`` by 1 ulp on some inputs, while
+    ``float_power`` resolves to the same libm call as the scalar
+    ``10.0 ** x`` — the equivalence tests assert bitwise identity.
+    """
+    exponent = _INTERCEPT + _SLOPE * np.asarray(sinr_db, dtype=np.float64)
+    return np.clip(np.float_power(10.0, exponent), MIN_BER, MAX_BER)
 
 
 def block_error_rate(ber: float, tb_bits: int) -> float:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Resource elements per PRB pair per subframe (12 subcarriers × 14 syms).
 RE_PER_PRB = 168
 #: Fraction of REs usable for data after pilots/PDCCH overhead.
@@ -75,6 +77,17 @@ _SINR_THRESHOLDS_DB: tuple[float, ...] = (
 )
 
 
+#: numpy view of the thresholds for the block (searchsorted) path.
+_SINR_THRESHOLDS_ARR = np.asarray(_SINR_THRESHOLDS_DB, dtype=np.float64)
+
+#: Single-stream bits per PRB indexed by MCS — the LUT both the scalar
+#: and the block rate paths read (``int(efficiency · DATA_RE_PER_PRB)``
+#: precomputed per table row).
+_BITS_PER_PRB_BY_MCS: tuple[int, ...] = tuple(
+    int(entry.efficiency * DATA_RE_PER_PRB) for entry in MCS_TABLE)
+_BITS_PER_PRB_ARR = np.asarray(_BITS_PER_PRB_BY_MCS, dtype=np.int64)
+
+
 def sinr_to_mcs(sinr_db: float, max_index: int = MAX_MCS_INDEX) -> int:
     """Highest MCS index supported at ``sinr_db`` (0 if below range).
 
@@ -87,6 +100,20 @@ def sinr_to_mcs(sinr_db: float, max_index: int = MAX_MCS_INDEX) -> int:
     return min(index, max_index)
 
 
+def sinr_to_mcs_block(sinr_db: np.ndarray,
+                      max_index: int = MAX_MCS_INDEX) -> np.ndarray:
+    """Vectorized :func:`sinr_to_mcs` over an SINR trajectory.
+
+    ``np.searchsorted(side="right")`` is element-for-element identical
+    to ``bisect.bisect_right``, so the returned indices match n scalar
+    calls exactly.
+    """
+    if max_index < 1 or max_index > MAX_MCS_INDEX:
+        raise ValueError(f"max_index out of range: {max_index}")
+    index = np.searchsorted(_SINR_THRESHOLDS_ARR, sinr_db, side="right")
+    return np.minimum(index, max_index)
+
+
 def bits_per_prb(mcs_index: int, spatial_streams: int = 1) -> int:
     """Transport bits carried by one PRB pair in one subframe.
 
@@ -97,8 +124,18 @@ def bits_per_prb(mcs_index: int, spatial_streams: int = 1) -> int:
         raise ValueError(f"MCS index out of range: {mcs_index}")
     if not 1 <= spatial_streams <= 4:
         raise ValueError(f"spatial streams out of range: {spatial_streams}")
-    entry = MCS_TABLE[mcs_index]
-    return int(entry.efficiency * DATA_RE_PER_PRB) * spatial_streams
+    return _BITS_PER_PRB_BY_MCS[mcs_index] * spatial_streams
+
+
+def bits_per_prb_block(mcs_index: np.ndarray,
+                       spatial_streams: np.ndarray | int) -> np.ndarray:
+    """Vectorized :func:`bits_per_prb` (fancy-indexed LUT gather).
+
+    ``spatial_streams`` may be a scalar or a per-element array; values
+    are assumed already validated (they come from
+    :func:`sinr_to_mcs_block` and the UE category).
+    """
+    return _BITS_PER_PRB_ARR[mcs_index] * spatial_streams
 
 
 def max_bits_per_prb(spatial_streams: int = 2) -> int:

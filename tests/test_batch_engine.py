@@ -1,0 +1,295 @@
+"""Batched subframe engine: byte-identity and RNG-stream preservation.
+
+The batched engine (block channel sampling, idle-cell fast-forward,
+columnar DCI ingest) must be *byte-identical* to the scalar reference —
+same packet logs, same estimator state, same RNG stream consumption.
+These tests compare whole-run SHA-256 fingerprints across the pinned
+6-configuration suite plus randomized configurations covering all three
+channel models, carrier aggregation on/off and fault injection on/off,
+and pin the stream-preservation tricks (block draws, speculative
+rollback, idle fast-forward) at the unit level.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cell.control_traffic import ControlTrafficGenerator
+from repro.harness import FlowSpec, Scenario
+from repro.harness.fingerprint import fingerprint_configs, run_fingerprint
+from repro.monitor.bursttracker import BurstTracker
+from repro.monitor.occupancy import OccupancyAnalyzer
+from repro.phy.channel import (GaussMarkovChannel, StaticChannel,
+                               TraceChannel)
+from repro.phy.dci import DciMessage, SubframeBatch, SubframeRecord
+
+#: Short but non-trivial: long enough for CA activation, window closes
+#: and control-burst catch-up to all fire.
+DURATION_S = 0.6
+
+SUBFRAME_US = 1_000
+
+
+# ---------------------------------------------------------------------------
+# Whole-run byte identity: pinned suite
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(fingerprint_configs(0.1)))
+def test_pinned_suite_batched_matches_scalar(name):
+    scenario, specs = fingerprint_configs(DURATION_S)[name]
+    batched = run_fingerprint(scenario, specs, batched=True)
+    # Rebuild the config: channel objects are stateful and must be
+    # fresh for the second engine.
+    scenario, specs = fingerprint_configs(DURATION_S)[name]
+    scalar = run_fingerprint(scenario, specs, batched=False)
+    assert batched == scalar
+
+
+# ---------------------------------------------------------------------------
+# Whole-run byte identity: randomized configurations
+# ---------------------------------------------------------------------------
+
+N_RANDOM_CONFIGS = 10
+
+
+def _random_params(seed: int) -> dict:
+    rng = random.Random(0xBA7C4 + seed)
+    busy = rng.random() < 0.6
+    return {
+        "channel": rng.choice(["static", "gauss", "trace"]),
+        "cells": rng.choice([1, 2, 3]),
+        "busy": busy,
+        "background_users": rng.randrange(1, 5) if busy else 0,
+        "mean_sinr_db": round(rng.uniform(9.0, 24.0), 1),
+        "cqi_delay": rng.choice([0, 0, 0, 3]),
+        "faulted": rng.random() < 0.4,
+        "scheme": rng.choice(["pbe", "pbe", "pbe", "bbr"]),
+    }
+
+
+def _random_config(seed: int) -> tuple[Scenario, list[FlowSpec]]:
+    params = _random_params(seed)
+    scenario = Scenario(
+        name=f"rand-{seed}", aggregated_cells=params["cells"],
+        mean_sinr_db=params["mean_sinr_db"], busy=params["busy"],
+        background_users=params["background_users"],
+        cqi_delay_subframes=params["cqi_delay"],
+        duration_s=DURATION_S, seed=3_000 + seed)
+    kwargs = {}
+    if params["channel"] == "gauss":
+        kwargs["channel"] = GaussMarkovChannel(
+            mean_sinr_db=params["mean_sinr_db"], std_db=3.0, memory=0.9,
+            coherence_us=8_000, seed=60 + seed)
+    elif params["channel"] == "trace":
+        kwargs["channel"] = TraceChannel(
+            [(0, -95.0), (200_000, -89.0), (450_000, -102.0),
+             (DURATION_S * 1e6, -93.0)],
+            fading_std_db=1.0, seed=60 + seed)
+    if params["faulted"]:
+        kwargs["faults"] = {"seed": 90 + seed, "dci_miss_rate": 0.04,
+                            "dci_false_rate": 0.002,
+                            "ack_loss_rate": 0.01}
+    return scenario, [FlowSpec(scheme=params["scheme"], **kwargs)]
+
+
+def test_randomized_pool_covers_the_matrix():
+    """The random pool must exercise every axis the tentpole touches."""
+    pool = [_random_params(seed) for seed in range(N_RANDOM_CONFIGS)]
+    assert {p["channel"] for p in pool} == {"static", "gauss", "trace"}
+    assert {p["cells"] > 1 for p in pool} == {True, False}   # CA on/off
+    assert {p["faulted"] for p in pool} == {True, False}
+    assert {p["busy"] for p in pool} == {True, False}
+
+
+@pytest.mark.parametrize("seed", range(N_RANDOM_CONFIGS))
+def test_randomized_configs_batched_matches_scalar(seed):
+    scenario, specs = _random_config(seed)
+    batched = run_fingerprint(scenario, specs, batched=True)
+    scenario, specs = _random_config(seed)
+    scalar = run_fingerprint(scenario, specs, batched=False)
+    assert batched == scalar
+
+
+# ---------------------------------------------------------------------------
+# RNG-stream preservation: block channel sampling
+# ---------------------------------------------------------------------------
+
+def _channel_factories():
+    return {
+        "static": lambda: StaticChannel(15.0, fading_std_db=2.0, seed=9),
+        "gauss": lambda: GaussMarkovChannel(
+            mean_sinr_db=14.0, std_db=3.0, memory=0.9,
+            coherence_us=8_000, seed=9),
+        "trace": lambda: TraceChannel(
+            [(0, -95.0), (200_000, -90.0), (500_000, -100.0)],
+            fading_std_db=1.0, seed=9),
+    }
+
+
+@pytest.mark.parametrize("kind", sorted(_channel_factories()))
+def test_sinr_block_is_bitwise_identical_to_scalar(kind):
+    make = _channel_factories()[kind]
+    scalar, blocked = make(), make()
+    now = 0
+    for _ in range(4):
+        expected = np.array([scalar.sinr_db(now + k * SUBFRAME_US)
+                             for k in range(64)])
+        got = blocked.sinr_block(now, 64)
+        # Bitwise, not approx: the engines must agree to the last ulp.
+        assert got.tobytes() == expected.tobytes()
+        now += 64 * SUBFRAME_US
+
+
+@pytest.mark.parametrize("kind", sorted(_channel_factories()))
+def test_block_and_scalar_interleave_preserves_the_stream(kind):
+    """A block draw consumes the RNG exactly like 64 scalar draws, so
+    block and scalar sampling can be freely interleaved."""
+    make = _channel_factories()[kind]
+    reference, mixed = make(), make()
+    expected = [reference.sinr_db(k * SUBFRAME_US) for k in range(192)]
+    got = list(mixed.sinr_block(0, 64))
+    got += [mixed.sinr_db((64 + k) * SUBFRAME_US) for k in range(32)]
+    got += list(mixed.sinr_block(96 * SUBFRAME_US, 96))
+    assert np.array(got).tobytes() == np.array(expected).tobytes()
+
+
+@pytest.mark.parametrize("kind", sorted(_channel_factories()))
+def test_checkpoint_restore_rewinds_the_stream(kind):
+    """The engine speculatively draws a block and rolls back when a
+    user leaves mid-block; restore must rewind the stream exactly."""
+    make = _channel_factories()[kind]
+    channel = make()
+    channel.sinr_block(0, 64)                   # advance somewhere
+    state = channel.state_checkpoint()
+    first = channel.sinr_block(64 * SUBFRAME_US, 64)
+    channel.state_restore(state)
+    again = channel.sinr_block(64 * SUBFRAME_US, 64)
+    assert again.tobytes() == first.tobytes()
+    # Partial re-consume after restore matches the block's prefix.
+    channel.state_restore(state)
+    prefix = [channel.sinr_db((64 + k) * SUBFRAME_US) for k in range(17)]
+    assert np.array(prefix).tobytes() == first[:17].tobytes()
+
+
+# ---------------------------------------------------------------------------
+# RNG-stream preservation: idle-cell control-traffic fast-forward
+# ---------------------------------------------------------------------------
+
+def _burst_snapshot(bursts):
+    return [(b.rnti, b.prbs, b.remaining_subframes) for b in bursts]
+
+
+@pytest.mark.parametrize("rate", [0.02, 0.15])
+def test_advance_idle_reproduces_the_tick_timeline(rate):
+    """The catch-up loop (advance_idle + tick) must emit the same burst
+    timeline and leave the same RNG state as per-subframe ticking."""
+    n = 600
+    reference = ControlTrafficGenerator(rate, seed=3)
+    fast = ControlTrafficGenerator(rate, seed=3)
+    expected = [_burst_snapshot(reference.tick()) for _ in range(n)]
+
+    got = []
+    while len(got) < n:
+        skipped = fast.advance_idle(n - len(got))
+        got.extend([] for _ in range(skipped))
+        if len(got) < n:
+            got.append(_burst_snapshot(fast.tick()))
+    assert got == expected
+    assert (fast._rng.bit_generator.state
+            == reference._rng.bit_generator.state)
+
+
+def test_advance_idle_stops_before_a_bursty_subframe():
+    generator = ControlTrafficGenerator(0.3, seed=1)
+    probe = ControlTrafficGenerator(0.3, seed=1)
+    skipped = generator.advance_idle(500)
+    for _ in range(skipped):
+        assert probe.tick() == []
+    assert probe.tick() != []          # the subframe advance stopped at
+    assert skipped < 500
+
+
+def test_advance_idle_refuses_while_bursts_in_flight():
+    generator = ControlTrafficGenerator(0.5, seed=2)
+    while not generator._active:
+        generator.tick()
+    assert generator.advance_idle(100) == 0
+
+
+# ---------------------------------------------------------------------------
+# Columnar analytics ingest (occupancy / bursttracker)
+# ---------------------------------------------------------------------------
+
+def _synth_records(n_subframes: int, seed: int) -> list[SubframeRecord]:
+    rng = random.Random(seed)
+    records = []
+    for sf in range(n_subframes):
+        messages = []
+        budget = 100
+        for _ in range(rng.randrange(0, 6)):
+            prbs = min(rng.choice([0, 0, 3, 10, 25]), budget)
+            budget -= prbs
+            messages.append(DciMessage(
+                sf, 0, rng.choice([1, 2, 3, 17]), prbs,
+                rng.randrange(18), 2, tbs_bits=prbs * 100,
+                new_data=rng.random() < 0.9,
+                is_control=rng.random() < 0.1))
+        records.append(SubframeRecord(sf, 0, 100, messages))
+    return records
+
+
+def _feed_in_batches(records, sinks, seed):
+    rng = random.Random(seed)
+    batch = SubframeBatch(0, 100)
+    i = 0
+    while i < len(records):
+        n = rng.randrange(1, 97)          # irregular block boundaries
+        batch.clear()
+        for record in records[i:i + n]:
+            batch.append_record(record)
+        for sink in sinks:
+            sink.ingest_batch(batch)
+        i += n
+
+
+def test_occupancy_batch_ingest_matches_scalar():
+    records = _synth_records(2_500, seed=7)
+    scalar = OccupancyAnalyzer(0, bucket_subframes=100)
+    batched = OccupancyAnalyzer(0, bucket_subframes=100)
+    for record in records:
+        scalar.update(record)
+    _feed_in_batches(records, [batched], seed=8)
+    assert batched.summary() == scalar.summary()
+    assert batched.utilization_series == scalar.utilization_series
+    assert batched.users_series == scalar.users_series
+    assert ({r: vars(u) for r, u in batched.users.items()}
+            == {r: vars(u) for r, u in scalar.users.items()})
+
+
+def test_bursttracker_batch_ingest_matches_scalar():
+    records = _synth_records(2_500, seed=7)
+    scalar = BurstTracker(1, window_subframes=100)
+    batched = BurstTracker(1, window_subframes=100)
+    for record in records:
+        scalar.update(record)
+    _feed_in_batches(records, [batched], seed=8)
+    assert batched.windows == scalar.windows
+    assert batched.classifications == scalar.classifications
+    # Open-window float state matches exactly (same summation order).
+    assert batched._share_sum == scalar._share_sum
+    assert batched._count == scalar._count
+
+
+def test_batch_round_trips_to_records():
+    records = _synth_records(300, seed=11)
+    batch = SubframeBatch(0, 100)
+    for record in records:
+        batch.append_record(record)
+    assert batch.to_records() == records
+    assert len(batch) == 300
+    assert batch.n_messages == sum(len(r.messages) for r in records)
+    batch.clear()
+    assert len(batch) == 0 and batch.n_messages == 0
