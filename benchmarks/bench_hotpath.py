@@ -1,5 +1,5 @@
 """Hot-path microbenchmarks (scheduler, estimator, batched-engine
-block paths, subframe loop).
+block paths, subframe loop, sparse metro fast-forward).
 
 Complements the figure/table benches: these time the measured hot
 paths directly, so a regression in one of them is attributable
@@ -15,6 +15,7 @@ from repro.perf.bench import (
     _bench_channel_block,
     _bench_dci_batch,
     _bench_estimator,
+    _bench_metro_smoke,
     _bench_scheduler,
     _bench_subframe_loop,
 )
@@ -82,6 +83,24 @@ def test_subframe_loop_ticks(benchmark):
         rounds=1, iterations=1)
     print(f"\nsubframe loop: {result['ticks_per_s']:,.0f} ticks/s")
     assert result["ticks"] >= 2_000
+
+
+def test_metro_smoke_fast_forward(benchmark):
+    """Sparse ≥100-cell metro shard: batched vs scalar, same digest.
+
+    This is the idle-cell fast-forward's target workload; the batched
+    engine must be at least 2x faster here while staying byte-identical
+    (the fingerprint comparison lives inside the bench body).
+    """
+    result = benchmark.pedantic(
+        _bench_metro_smoke, kwargs={"hour_s": 1.2},
+        rounds=1, iterations=1)
+    print(f"\nmetro smoke: {result['cells']} cells, "
+          f"batched {result['batch_wall_s']:g}s vs "
+          f"scalar {result['scalar_wall_s']:g}s "
+          f"({result['speedup']:g}x)")
+    assert result["cells"] >= 100
+    assert result["speedup"] >= 2.0
 
 
 def test_bench_suite_bodies(benchmark):

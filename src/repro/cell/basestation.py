@@ -288,7 +288,8 @@ class CellularNetwork:
 
     def __init__(self, sim: Simulator, carriers: list[CarrierConfig],
                  ca_policy: Optional[CaPolicy] = None,
-                 control_arrivals_per_subframe: float = 0.0,
+                 control_arrivals_per_subframe: "float | dict[int, float]"
+                 = 0.0,
                  scheduler_policy: str = "equal",
                  cqi_delay_subframes: int = 0,
                  seed: int = 0,
@@ -319,9 +320,16 @@ class CellularNetwork:
         self._retx: dict[tuple[int, int], list[_HarqState]] = {}
         self._monitors: dict[int, list[Callable[[SubframeRecord], None]]] = {
             c: [] for c in self.carriers}
+        # One control-plane rate for every cell (a float), or a
+        # per-cell mapping (metro grids mix busy and idle cells in one
+        # network); missing cells fall back to 0.0 like the default.
+        if isinstance(control_arrivals_per_subframe, dict):
+            rate_for = lambda c: control_arrivals_per_subframe.get(c, 0.0)
+        else:
+            rate_for = lambda c: control_arrivals_per_subframe
         self._control = {
             cell_id: ControlTrafficGenerator(
-                control_arrivals_per_subframe, seed=seed + 17 * cell_id)
+                rate_for(cell_id), seed=seed + 17 * cell_id)
             for cell_id in self.carriers}
         self._pf: dict[int, ProportionalFairState] = {}
         if scheduler_policy == "proportional_fair":

@@ -9,11 +9,15 @@ Commands
 ``sweep``      the §6.3.1 stationary sweep, parallel and cacheable
 ``resilience`` fault-injection sweep: DCI miss-rate × decoder-outage
                grid with graceful-degradation telemetry
+``metro``      metro-scale scenario engine: hundreds of cells with
+               diurnal populations, walker handover churn and
+               coexistence fleets; writes the per-cell fairness/
+               capacity matrix (``--smoke`` for the CI-sized set)
 ``cache``      audit the result cache: ``verify`` (scan, checksum,
                quarantine) or ``gc`` (reclaim quarantined/temp space)
 ``perf``       hot-path benchmark suite; writes ``BENCH_hotpath.json``
                (``--smoke`` for the CI-sized run)
-``list``       list schemes and experiments
+``list``       list schemes, experiments and metro scenario sets
 
 Multi-run commands (``experiment`` sweeps, ``sweep``) accept ``--jobs
 N`` to fan simulations out over worker processes and ``--cache-dir``
@@ -39,6 +43,9 @@ Examples
         --jobs 4
     python -m repro resilience --smoke
     python -m repro sweep --jobs 8 --cache-dir .repro-cache --resume
+    python -m repro metro --smoke --out metro_matrix.json
+    python -m repro metro --set metro-240 --jobs 8 \\
+        --cache-dir .repro-cache --resume
     python -m repro cache verify --cache-dir .repro-cache
     python -m repro perf --smoke --out BENCH_hotpath.json
 """
@@ -298,6 +305,47 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return _finish_supervised(runner, result.failures)
 
 
+def cmd_metro(args: argparse.Namespace) -> int:
+    """``repro metro``: the metro-scale fairness/capacity matrix."""
+    from .exec import FailureBudgetExceeded, SweepInterrupted
+    from .harness.serialize import write_json_atomic
+    from .metro import format_summary, resolve_set, run_metro
+    mset = resolve_set("smoke" if args.smoke else args.set)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+        overrides["grid"] = {"seed": args.seed}
+    if args.cells is not None:
+        overrides.setdefault("grid", {})["n_cells"] = args.cells
+    if args.hours is not None:
+        overrides["hours"] = tuple(
+            int(h) for h in args.hours.split(",") if h.strip())
+    if args.hour_s is not None:
+        overrides["hour_s"] = args.hour_s
+    if args.shard_cells is not None:
+        overrides["shard_cells"] = args.shard_cells
+    if args.walkers is not None:
+        overrides["walkers_per_shard"] = args.walkers
+    if overrides:
+        mset = mset.with_overrides(**overrides)
+    if args.resume:
+        _report_resume(args)
+    runner = _supervised_runner(args)
+    try:
+        result = run_metro(mset, runner=runner)
+    except SweepInterrupted as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 130
+    except FailureBudgetExceeded as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 3
+    print(format_summary(result.matrix))
+    write_json_atomic(result.matrix, args.out)
+    print(f"wrote matrix ({len(result.matrix['cells'])} cells) to "
+          f"{args.out}", file=sys.stderr)
+    return _finish_supervised(runner, result.failures)
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """``repro cache verify|gc``: audit/repair the result store."""
     from .exec import ResultStore
@@ -355,6 +403,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ["sweep", benches["sweep"]["wall_s"],
          f'{benches["sweep"]["entries"]} runs '
          f'x {benches["sweep"]["flow_s"]:g} s flows'],
+        ["metro_smoke", benches["metro_smoke"]["batch_wall_s"],
+         f'{benches["metro_smoke"]["cells"]} cells '
+         f'({benches["metro_smoke"]["speedup"]:g}x scalar)'],
     ]
     print(format_table(["bench", "wall (s)", "rate"], rows,
                        title="Hot-path benchmarks "
@@ -372,9 +423,14 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    """``repro list``: show available schemes and experiments."""
+    """``repro list``: schemes, experiments and metro scenario sets."""
+    from .metro import metro_scenario_sets
     print("schemes:     " + ", ".join(sorted(SCHEMES)))
     print("experiments: " + ", ".join(EXPERIMENTS))
+    print("metro sets:")
+    for name, mset in sorted(metro_scenario_sets().items()):
+        print(f"  {name:<14} {mset.grid.n_cells} cells — "
+              f"{mset.description}")
     return 0
 
 
@@ -494,6 +550,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_options(p_res)
     _add_supervision_options(p_res)
     p_res.set_defaults(func=cmd_resilience)
+
+    p_metro = sub.add_parser(
+        "metro", help="metro-scale scenario engine: run a named set "
+                      "and write the per-cell fairness matrix")
+    p_metro.add_argument("--set", default="metro-240",
+                         help="scenario set name (see `repro list`; "
+                              "default metro-240)")
+    p_metro.add_argument("--smoke", action="store_true",
+                         help="CI-sized run (the 'smoke' set)")
+    p_metro.add_argument("--seed", type=int, default=None,
+                         help="override the set's seed (grid layout, "
+                              "populations, mobility, fleets)")
+    p_metro.add_argument("--cells", type=int, default=None,
+                         help="override the grid's carrier count")
+    p_metro.add_argument("--hours", default=None,
+                         help="comma-separated hours of day to "
+                              "simulate (e.g. 3,9,14,21)")
+    p_metro.add_argument("--hour-s", type=float, default=None,
+                         metavar="S",
+                         help="simulated seconds per diurnal hour")
+    p_metro.add_argument("--shard-cells", type=int, default=None,
+                         help="target cells per exec shard")
+    p_metro.add_argument("--walkers", type=int, default=None,
+                         help="override walkers per shard")
+    p_metro.add_argument("--out", default="metro_matrix.json",
+                         metavar="FILE",
+                         help="matrix output path "
+                              "(default metro_matrix.json)")
+    _add_exec_options(p_metro)
+    _add_supervision_options(p_metro)
+    p_metro.set_defaults(func=cmd_metro)
 
     p_cache = sub.add_parser(
         "cache", help="audit the result cache (verify / gc)")

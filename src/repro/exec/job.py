@@ -30,7 +30,11 @@ from ..harness.scenarios import Scenario
 #: v2: fault-injection/degradation PR — payloads gained
 #: ``sender_states``/``fault_stats``, PBE senders gained the feedback
 #: watchdog, and monitors flush decode-latency buffers at teardown.
-FINGERPRINT_VERSION = 2
+#:
+#: v3: metro PR — :class:`repro.harness.Scenario` gained the
+#: ``control_arrivals_by_cell`` field (part of the canonical encoding),
+#: so v2 fingerprints no longer describe the same inputs.
+FINGERPRINT_VERSION = 3
 
 
 def canonical_json(payload) -> str:
@@ -76,3 +80,18 @@ class Job:
         """
         encoded = canonical_json(self.to_dict()).encode("utf-8")
         return hashlib.sha256(encoded).hexdigest()
+
+    def execute(self) -> dict:
+        """Run the job and return a JSON-serializable payload.
+
+        The execution subsystem dispatches through this method, so job
+        types other than the single-flow simulation (e.g.
+        :class:`repro.metro.MetroShardJob`) plug into the same
+        supervised runner, cache and journal.  Imports are deferred:
+        the job module stays importable without the full harness.
+        """
+        from ..harness.runner import run_flow
+        from ..harness.serialize import result_to_dict
+        result = run_flow(self.scenario, self.scheme,
+                          dict(self.spec_overrides))
+        return result_to_dict(result)

@@ -13,9 +13,6 @@ import json
 import os
 import signal
 
-from ..harness.runner import run_flow
-from ..harness.serialize import result_to_dict
-
 from .job import Job
 
 
@@ -42,10 +39,11 @@ def initialize_worker() -> None:
 def execute_job(job: Job) -> dict:
     """Run one job to completion and return its result payload.
 
-    The payload is :func:`result_to_dict` output, round-tripped through
-    JSON so that fresh results are byte-identical to cache-loaded ones
-    (string dictionary keys, JSON float formatting) regardless of where
-    they were produced.
+    Dispatches through ``job.execute()`` (any fingerprinted job type —
+    single-flow :class:`Job`, metro shards — runs through the same
+    pool), then round-trips the payload through JSON so that fresh
+    results are byte-identical to cache-loaded ones (string dictionary
+    keys, JSON float formatting) regardless of where they were
+    produced.
     """
-    result = run_flow(job.scenario, job.scheme, dict(job.spec_overrides))
-    return json.loads(json.dumps(result_to_dict(result)))
+    return json.loads(json.dumps(job.execute()))

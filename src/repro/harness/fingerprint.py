@@ -76,16 +76,16 @@ def _monitor_digest(hasher: "hashlib._Hash", monitor: PbeMonitor) -> None:
                      decoder.messages_decoded, decoder.search_attempts)
 
 
-def run_fingerprint(scenario: Scenario, specs: list[FlowSpec],
-                    report_window: int = 40, batched: bool = True) -> str:
-    """Run one configuration and digest everything observable.
+def digest_run(experiment: Experiment, handles: list, results: list,
+               report_window: int = 40) -> str:
+    """Digest a completed experiment (any number of flows).
 
-    ``batched=False`` runs the same configuration on the scalar
-    reference engine; the equivalence tests assert both digests match.
+    ``handles``/``results`` are the :meth:`Experiment.add_flow` handles
+    and the matching :meth:`Experiment.run` results.  Callers that wire
+    their own multi-flow experiments (e.g. ``repro.metro`` shards) use
+    this directly; :func:`run_fingerprint` wraps it for the standard
+    one-scenario/spec-list configurations.
     """
-    experiment = Experiment(scenario, batched=batched)
-    handles = [experiment.add_flow(spec) for spec in specs]
-    results = experiment.run()
     hasher = hashlib.sha256()
     _hash_update(hasher, experiment.sim.now, experiment.network.subframe)
     for handle, result in zip(handles, results):
@@ -106,6 +106,20 @@ def run_fingerprint(scenario: Scenario, specs: list[FlowSpec],
                          report.users_per_cell, report.active_cells,
                          report.staleness_subframes, report.confidence)
     return hasher.hexdigest()
+
+
+def run_fingerprint(scenario: Scenario, specs: list[FlowSpec],
+                    report_window: int = 40, batched: bool = True) -> str:
+    """Run one configuration and digest everything observable.
+
+    ``batched=False`` runs the same configuration on the scalar
+    reference engine; the equivalence tests assert both digests match.
+    """
+    experiment = Experiment(scenario, batched=batched)
+    handles = [experiment.add_flow(spec) for spec in specs]
+    results = experiment.run()
+    return digest_run(experiment, handles, results,
+                      report_window=report_window)
 
 
 def fingerprint_configs(duration_s: float = 2.0) \

@@ -51,10 +51,16 @@ def percentile(values: Sequence[float], p: float) -> float:
 
 
 def jain_index(values: Sequence[float]) -> float:
-    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair."""
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair.
+
+    Two degenerate inputs get defined values instead of a
+    ZeroDivisionError: an empty sequence and all-zero throughputs both
+    return 1.0 (no flow is disadvantaged relative to any other — the
+    metro matrix reports these for cells that carry no test flows).
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        raise ValueError("need at least one value")
+        return 1.0
     denom = arr.size * float(np.sum(arr ** 2))
     if denom == 0:
         return 1.0

@@ -77,6 +77,10 @@ class Scenario:
     cqi_delay_subframes: int = 0
     duration_s: float = 8.0
     seed: int = 0
+    #: Optional per-cell control-plane burst rates (``{cell_id: rate}``).
+    #: When set it overrides the scenario-wide busy/idle rate — metro
+    #: grids mix busy hotspots and idle cells in one network.
+    control_arrivals_by_cell: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.aggregated_cells <= len(self.carriers):
@@ -85,7 +89,9 @@ class Scenario:
             raise ValueError("duration must be positive")
 
     @property
-    def control_arrivals_per_subframe(self) -> float:
+    def control_arrivals_per_subframe(self) -> "float | dict":
+        if self.control_arrivals_by_cell is not None:
+            return dict(self.control_arrivals_by_cell)
         return (BUSY_CONTROL_ARRIVALS if self.busy
                 else IDLE_CONTROL_ARRIVALS)
 

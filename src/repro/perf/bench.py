@@ -1,6 +1,6 @@
 """Hot-path benchmark suite → ``BENCH_hotpath.json``.
 
-Six benches cover the measured hot paths of the subframe loop, from
+Seven benches cover the measured hot paths of the subframe loop, from
 micro to macro:
 
 ``estimator``
@@ -25,9 +25,14 @@ micro to macro:
     :class:`repro.perf.PerfCounters`.
 ``sweep``
     the end-to-end Table-1-style stationary sweep.
+``metro_smoke``
+    one sparse ≥100-cell :mod:`repro.metro` shard (mostly idle cells,
+    a single busy hotspot) run batched versus scalar, with the two run
+    fingerprints asserted byte-identical.  This is the scenario the
+    idle-cell fast-forward exists for; its headline is the speedup.
 
 ``run_benchmarks`` returns a JSON-ready dict (schema
-``repro.perf/bench_hotpath/v2``).  ``python -m repro perf`` writes it
+``repro.perf/bench_hotpath/v3``).  ``python -m repro perf`` writes it
 to disk; ``python -m repro perf --compare OLD.json NEW.json`` diffs
 two such documents.  CI records the file as an artifact and
 soft-compares against the committed baseline so regressions show up
@@ -47,8 +52,9 @@ from ..phy.dci import DciMessage, SubframeRecord
 from . import PerfCounters
 
 #: Version tag of the emitted document.  v2 added the
-#: ``channel_block`` and ``dci_batch`` microbenches.
-SCHEMA = "repro.perf/bench_hotpath/v2"
+#: ``channel_block`` and ``dci_batch`` microbenches; v3 added the
+#: ``metro_smoke`` macrobench.
+SCHEMA = "repro.perf/bench_hotpath/v3"
 
 
 def _bench_estimator(n_subframes: int) -> dict:
@@ -216,6 +222,45 @@ def _bench_sweep(duration_s: float) -> dict:
             "wall_s": round(wall, 6)}
 
 
+def _bench_metro_smoke(hour_s: float) -> dict:
+    """Batched vs scalar on one sparse ≥100-cell metro shard.
+
+    The grid is mostly idle (one busy hotspot, thin background
+    population, no walkers), which is exactly the population the
+    batched engine's idle-cell fast-forward targets.  Both runs must
+    produce the same :func:`repro.metro.shard_fingerprint`; the
+    headline metric is the batched-over-scalar speedup.
+    """
+    from ..metro import GridSpec, MetroSet, shard_fingerprint, shard_jobs
+
+    mset = MetroSet(
+        name="bench-sparse", description="sparse metro bench shard",
+        grid=GridSpec(name="bench-sparse", n_cells=240,
+                      hotspot_fraction=0.005, seed=13),
+        hours=(3, 14), hour_s=hour_s, shard_cells=240,
+        users_scale=0.005, max_users_per_cell=2, walkers_per_shard=0,
+        fleet=("pbe",))
+    (job,) = shard_jobs(mset)
+    walls = {}
+    digests = {}
+    for mode, batched in (("batch", True), ("scalar", False)):
+        t0 = time.perf_counter()
+        digests[mode] = shard_fingerprint(job.params, batched=batched)
+        walls[mode] = time.perf_counter() - t0
+    if digests["batch"] != digests["scalar"]:
+        raise AssertionError("metro_smoke: batched and scalar shard "
+                             "fingerprints differ")
+    return {
+        "cells": mset.grid.n_cells,
+        "sim_s": round(len(mset.hours) * hour_s, 6),
+        "fingerprint": digests["batch"][:16],
+        "scalar_wall_s": round(walls["scalar"], 6),
+        "batch_wall_s": round(walls["batch"], 6),
+        "speedup": (round(walls["scalar"] / walls["batch"], 2)
+                    if walls["batch"] else 0.0),
+    }
+
+
 def run_benchmarks(smoke: bool = False,
                    progress: Optional[object] = None) -> dict:
     """Run the suite; ``smoke=True`` shrinks every bench for CI.
@@ -240,6 +285,8 @@ def run_benchmarks(smoke: bool = False,
     loop = _bench_subframe_loop(1.0 if smoke else 6.0)
     say("end-to-end sweep bench...")
     sweep = _bench_sweep(1.0 if smoke else 4.0)
+    say("metro-smoke bench...")
+    metro_smoke = _bench_metro_smoke(0.4 if smoke else 1.2)
     return {
         "schema": SCHEMA,
         "smoke": smoke,
@@ -255,6 +302,7 @@ def run_benchmarks(smoke: bool = False,
             "dci_batch": dci_batch,
             "subframe_loop": loop,
             "sweep": sweep,
+            "metro_smoke": metro_smoke,
         },
     }
 
@@ -268,6 +316,7 @@ _HEADLINE = {
     "dci_batch": ("batch_rows_per_s", True),
     "subframe_loop": ("ticks_per_s", True),
     "sweep": ("wall_s", False),
+    "metro_smoke": ("speedup", True),
 }
 
 #: Relative slowdown beyond which :func:`compare_benchmarks` flags a

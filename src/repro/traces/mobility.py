@@ -13,6 +13,7 @@ import numpy as np
 
 from ..net.units import US_PER_S
 from ..phy.channel import TraceChannel
+from .seeds import derived_seed
 
 
 def paper_trajectory(strong_rssi_dbm: float = -85.0,
@@ -43,10 +44,15 @@ def random_walk_trajectory(duration_s: float, mean_rssi_dbm: float = -95.0,
                            bounds_dbm: tuple[float, float] = (-113.0, -80.0),
                            fading_std_db: float = 1.5,
                            seed: int = 0) -> TraceChannel:
-    """A bounded Gaussian random walk in RSSI."""
+    """A bounded Gaussian random walk in RSSI.
+
+    The walk and the fading process draw from two *derived* streams of
+    the one explicit ``seed`` — passing the raw seed to both (as an
+    earlier version did) made the fading noise replay the walk's draws.
+    """
     if duration_s <= 0 or interval_s <= 0:
         raise ValueError("durations must be positive")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(derived_seed(seed, "random-walk", "walk"))
     lo, hi = bounds_dbm
     waypoints = []
     rssi = mean_rssi_dbm
@@ -55,4 +61,5 @@ def random_walk_trajectory(duration_s: float, mean_rssi_dbm: float = -95.0,
         waypoints.append((int(t * US_PER_S), rssi))
         rssi = float(np.clip(rssi + rng.normal(0.0, step_db), lo, hi))
         t += interval_s
-    return TraceChannel(waypoints, fading_std_db=fading_std_db, seed=seed)
+    return TraceChannel(waypoints, fading_std_db=fading_std_db,
+                        seed=derived_seed(seed, "random-walk", "fading"))

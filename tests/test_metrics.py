@@ -68,9 +68,15 @@ def test_jain_paper_range():
     assert jain_index([33.0, 34.0, 31.0]) > 0.98
 
 
-def test_jain_requires_values():
-    with pytest.raises(ValueError):
-        jain_index([])
+def test_jain_empty_is_defined():
+    # A cell with no test flows must still get a defined matrix entry.
+    assert jain_index([]) == 1.0
+
+
+def test_jain_all_zero_is_defined():
+    # All-zero throughputs: nobody is disadvantaged, not a div-by-zero.
+    assert jain_index([0.0, 0.0, 0.0]) == 1.0
+    assert jain_index(np.zeros(5)) == 1.0
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,

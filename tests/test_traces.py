@@ -9,6 +9,7 @@ from repro.traces.cellactivity import (
     paper_cells,
 )
 from repro.traces.mobility import paper_trajectory, random_walk_trajectory
+from repro.traces.seeds import derived_seed
 
 
 class TestMobility:
@@ -37,6 +38,54 @@ class TestMobility:
     def test_random_walk_validation(self):
         with pytest.raises(ValueError):
             random_walk_trajectory(duration_s=0)
+
+
+class TestSeedPlumbing:
+    """Every trace process must derive all randomness from its seed."""
+
+    def test_derived_seed_is_deterministic(self):
+        assert derived_seed(7, "a", "b") == derived_seed(7, "a", "b")
+        assert 0 <= derived_seed(7, "a") < 2**64
+
+    def test_derived_seed_scopes_are_independent(self):
+        streams = {derived_seed(7), derived_seed(7, "walk"),
+                   derived_seed(7, "fading"), derived_seed(8, "walk"),
+                   derived_seed(7, "walk", 0)}
+        assert len(streams) == 5
+
+    def test_random_walk_replays_from_seed(self):
+        a = random_walk_trajectory(duration_s=10.0, seed=42)
+        b = random_walk_trajectory(duration_s=10.0, seed=42)
+        times = range(0, 10_000_000, 250_000)
+        assert [a.rssi_dbm(t) for t in times] == \
+               [b.rssi_dbm(t) for t in times]
+
+    def test_random_walk_seed_changes_walk(self):
+        a = random_walk_trajectory(duration_s=10.0, seed=1,
+                                   fading_std_db=0.0)
+        b = random_walk_trajectory(duration_s=10.0, seed=2,
+                                   fading_std_db=0.0)
+        times = range(0, 10_000_000, 250_000)
+        assert [a.rssi_dbm(t) for t in times] != \
+               [b.rssi_dbm(t) for t in times]
+
+    def test_random_walk_fading_stream_is_decorrelated(self):
+        # The walk and the fading must come from independent derived
+        # streams: the underlying (fading-free) walk cannot change when
+        # fading is turned on.
+        flat = random_walk_trajectory(duration_s=10.0, seed=5,
+                                      fading_std_db=0.0)
+        faded = random_walk_trajectory(duration_s=10.0, seed=5,
+                                       fading_std_db=3.0)
+        assert list(flat._times) == list(faded._times)
+        assert list(flat._rssi) == list(faded._rssi)
+
+    def test_paper_cells_replays_from_seed(self):
+        a = paper_cells(seed=3)["20MHz"]
+        b = paper_cells(seed=3)["20MHz"]
+        assert a.hourly_user_counts() == b.hourly_user_counts()
+        assert np.array_equal(a.user_rates_mbps_per_prb(200),
+                              b.user_rates_mbps_per_prb(200))
 
 
 class TestCellActivity:
