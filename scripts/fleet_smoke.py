@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Fleet smoke test: chaos-laden fleet sweep, SIGINT, resume, verify.
+
+Spawns ``python -m repro fleet sweep`` — two local workers pulling
+from a shared queue directory under a seeded :class:`ChaosSpec` that
+SIGKILLs every worker once per job — and checks the fabric's promises
+end to end:
+
+* the chaos run completes with exit 0, reports reclaimed leases and
+  respawned workers, and its saved entries are byte-identical to a
+  plain ``repro sweep`` of the same jobs on a process pool;
+* a second fleet run is SIGINTed mid-sweep: the driver drains, exits
+  130, its journal ends ``interrupted``, and every persisted cache
+  entry passes ``repro cache verify``;
+* ``--resume`` on the same fleet+cache finishes only the unfinished
+  jobs and saves entries byte-identical to the chaos run's.
+
+CI runs this (CI-sized) on every push; run it locally with no
+arguments, or ``--duration`` to scale it up.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SWEEP = ("--schemes", "pbe,bbr", "--busy", "2", "--idle", "1")
+CHAOS = ("--chaos-seed", "3", "--chaos-kill", "1")
+
+
+def fleet_cmd(fleet_dir: str, cache_dir: str, args,
+              extra=()) -> list:
+    return [sys.executable, "-m", "repro", "fleet", "sweep",
+            "--dir", fleet_dir, "--workers", "2", "--ttl", "3",
+            *SWEEP, "--duration", str(args.duration),
+            "--retries", "3", "--cache-dir", cache_dir,
+            *CHAOS, *extra]
+
+
+def env() -> dict:
+    out = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    out["PYTHONPATH"] = (src + os.pathsep + out["PYTHONPATH"]
+                         if out.get("PYTHONPATH") else src)
+    return out
+
+
+def store_entries(cache_dir: Path) -> list:
+    return sorted(p for p in cache_dir.glob("??/*.json"))
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="fleet + chaos + SIGINT + resume smoke test")
+    parser.add_argument("--duration", type=float, default=1.0)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall smoke deadline in seconds")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        work = Path(workdir)
+
+        # --- chaos run vs. pool baseline (byte-identity) -------------
+        pool = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", *SWEEP,
+             "--duration", str(args.duration), "--jobs", "2",
+             "--save", str(work / "pool.json")],
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if pool.returncode != 0:
+            fail(f"pool baseline exited {pool.returncode}\n"
+                 f"{pool.stderr}")
+
+        chaos = subprocess.run(
+            fleet_cmd(str(work / "fleet-a"), str(work / "cache-a"),
+                      args, extra=("--save", str(work / "chaos.json"))),
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if chaos.returncode != 0:
+            fail(f"chaos fleet sweep exited {chaos.returncode}\n"
+                 f"{chaos.stderr}")
+        if "leases reclaimed" not in chaos.stderr:
+            fail(f"chaos run reclaimed no leases — kill fault did not "
+                 f"fire?\n{chaos.stderr}")
+        if ((work / "chaos.json").read_bytes()
+                != (work / "pool.json").read_bytes()):
+            fail("chaos fleet entries differ from pool baseline")
+        print("chaos ok: kill-per-job fleet sweep byte-identical to "
+              "pool run, leases reclaimed", flush=True)
+
+        # --- interrupted fleet run -----------------------------------
+        fleet_b = str(work / "fleet-b")
+        cache_b = work / "cache-b"
+        proc = subprocess.Popen(
+            fleet_cmd(fleet_b, str(cache_b), args),
+            env=env(), cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        deadline = time.time() + args.timeout / 2
+        while (time.time() < deadline and proc.poll() is None
+               and len(store_entries(cache_b)) < 1):
+            time.sleep(0.05)
+        if proc.poll() is not None:
+            fail("fleet sweep finished before SIGINT could be "
+                 "delivered; increase --duration")
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=args.timeout / 2)
+        if proc.returncode != 130:
+            fail(f"interrupted fleet sweep exited {proc.returncode}, "
+                 f"expected 130\n{stderr}")
+        journal = cache_b / "journal.jsonl"
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        if records[-1] != {"kind": "end", "status": "interrupted"}:
+            fail(f"journal does not end interrupted: {records[-1]}")
+        done = {r["fingerprint"] for r in records
+                if r.get("kind") == "job" and r.get("status") == "done"}
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "cache", "verify",
+             "--cache-dir", str(cache_b), "--no-upgrade"],
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True)
+        if verify.returncode != 0:
+            fail(f"cache verify failed after interrupt:\n"
+                 f"{verify.stdout}{verify.stderr}")
+        print(f"interrupt ok: fleet drained, {len(done)} jobs "
+              f"persisted, journal and store intact", flush=True)
+
+        # --- resumed fleet run (idempotent restart) ------------------
+        resumed = subprocess.run(
+            fleet_cmd(fleet_b, str(cache_b), args,
+                      extra=("--resume", "--save",
+                             str(work / "resumed.json"))),
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if resumed.returncode != 0:
+            fail(f"fleet resume exited {resumed.returncode}\n"
+                 f"{resumed.stderr}")
+        executed = sum(" executed " in line
+                       for line in resumed.stderr.splitlines())
+        cached = sum(" cached " in line and "[repro.exec]" in line
+                     for line in resumed.stderr.splitlines())
+        total = 6  # 2 schemes x (2 busy + 1 idle)
+        if executed != total - len(done) or cached != len(done):
+            fail(f"fleet resume recomputed finished work: {executed} "
+                 f"executed / {cached} cached with {len(done)} done")
+        if ((work / "resumed.json").read_bytes()
+                != (work / "pool.json").read_bytes()):
+            fail("resumed fleet sweep is not byte-identical to the "
+                 "uninterrupted pool run")
+        print(f"resume ok: {executed} executed, {cached} cached, "
+              f"byte-identical output", flush=True)
+
+    print("fleet smoke PASSED", flush=True)
+
+
+if __name__ == "__main__":
+    main()

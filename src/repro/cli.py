@@ -12,7 +12,13 @@ Commands
 ``metro``      metro-scale scenario engine: hundreds of cells with
                diurnal populations, walker handover churn and
                coexistence fleets; writes the per-cell fairness/
-               capacity matrix (``--smoke`` for the CI-sized set)
+               capacity matrix (``--smoke`` for the CI-sized set;
+               ``--fleet-dir`` routes shards through a worker fleet)
+``fleet``      distributed sweep fabric: ``fleet sweep`` drives the
+               stationary sweep through a shared-directory worker
+               fleet (leases, heartbeats, crash reclamation, optional
+               seeded chaos injection); ``fleet worker`` joins a
+               fleet from any host that shares the directory
 ``cache``      audit the result cache: ``verify`` (scan, checksum,
                quarantine) or ``gc`` (reclaim quarantined/temp space)
 ``perf``       hot-path benchmark suite; writes ``BENCH_hotpath.json``
@@ -48,6 +54,11 @@ Examples
         --cache-dir .repro-cache --resume
     python -m repro cache verify --cache-dir .repro-cache
     python -m repro perf --smoke --out BENCH_hotpath.json
+    python -m repro fleet sweep --dir /shared/fleet --workers 4 \\
+        --cache-dir .repro-cache --resume
+    python -m repro fleet worker --dir /shared/fleet   # on any host
+    python -m repro metro --smoke --fleet-dir /tmp/fleet \\
+        --fleet-workers 2
 """
 
 from __future__ import annotations
@@ -122,7 +133,7 @@ def _exec_kwargs(args: argparse.Namespace) -> dict:
             "progress": progress}
 
 
-def _supervised_runner(args: argparse.Namespace):
+def _supervised_runner(args: argparse.Namespace, backend=None):
     """Build the supervised runner for the long sweep commands."""
     from .exec import make_runner
     budget = (args.failure_budget / 100.0
@@ -130,7 +141,37 @@ def _supervised_runner(args: argparse.Namespace):
     kwargs = _exec_kwargs(args)
     return make_runner(retries=args.retries, timeout_s=args.timeout,
                        strict=args.strict, failure_budget=budget,
-                       **kwargs)
+                       backend=backend, **kwargs)
+
+
+def _chaos_spec(args: argparse.Namespace, ttl_s: float):
+    """A :class:`ChaosSpec` from the ``--chaos-*`` flags (or None)."""
+    from .exec import ChaosSpec
+    stall_s = (args.chaos_stall_s if args.chaos_stall_s is not None
+               else 2.5 * ttl_s)  # long enough to trip lease reclaim
+    spec = ChaosSpec(seed=args.chaos_seed, kill_prob=args.chaos_kill,
+                     stall_prob=args.chaos_stall, stall_s=stall_s,
+                     claim_delay_prob=args.chaos_delay,
+                     claim_delay_s=args.chaos_delay_s,
+                     duplicate_claim_prob=args.chaos_dup,
+                     corrupt_prob=args.chaos_corrupt)
+    return spec if spec.active else None
+
+
+def _fleet_backend(args: argparse.Namespace, root: str, workers: int,
+                   ttl_s: float):
+    """Build the fleet backend (and its telemetry line) for a driver."""
+    from .exec import FleetBackend
+    chaos = _chaos_spec(args, ttl_s)
+    if chaos is not None:
+        print(f"[repro] chaos injection armed: {chaos.to_dict()}",
+              file=sys.stderr)
+
+    def telemetry(line: str) -> None:
+        print(f"[repro] {line}", file=sys.stderr, flush=True)
+
+    return FleetBackend(root, ttl_s=ttl_s, local_workers=workers,
+                        chaos=chaos, telemetry=telemetry)
 
 
 def _report_resume(args: argparse.Namespace) -> None:
@@ -214,27 +255,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep``: the stationary sweep, supervised end to end."""
-    from .exec import FailureBudgetExceeded, SweepInterrupted
+def _print_sweep(args: argparse.Namespace, sweep) -> None:
+    """Render a finished stationary sweep per ``--view`` / ``--save``."""
     from .harness import experiments as exp
     from .harness.serialize import write_json_atomic
-    schemes = tuple(s.strip() for s in args.schemes.split(",")
-                    if s.strip())
-    if args.resume:
-        _report_resume(args)
-    runner = _supervised_runner(args)
-    try:
-        sweep = exp.run_stationary_sweep(
-            schemes=schemes, n_busy=args.busy, n_idle=args.idle,
-            duration_s=args.duration, base_seed=args.seed,
-            runner=runner)
-    except SweepInterrupted as exc:
-        print(f"[repro] {exc}", file=sys.stderr)
-        return 130
-    except FailureBudgetExceeded as exc:
-        print(f"[repro] {exc}", file=sys.stderr)
-        return 3
     if args.view == "table1":
         print(exp.table1_from_sweep(sweep).format())
     elif args.view == "fig12":
@@ -266,6 +290,66 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                           args.save)
         print(f"saved {len(sweep.entries)} entries to {args.save}",
               file=sys.stderr)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: the stationary sweep, supervised end to end."""
+    from .exec import FailureBudgetExceeded, SweepInterrupted
+    from .harness import experiments as exp
+    schemes = tuple(s.strip() for s in args.schemes.split(",")
+                    if s.strip())
+    if args.resume:
+        _report_resume(args)
+    runner = _supervised_runner(args)
+    try:
+        sweep = exp.run_stationary_sweep(
+            schemes=schemes, n_busy=args.busy, n_idle=args.idle,
+            duration_s=args.duration, base_seed=args.seed,
+            runner=runner)
+    except SweepInterrupted as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 130
+    except FailureBudgetExceeded as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 3
+    _print_sweep(args, sweep)
+    return _finish_supervised(runner, sweep.failures)
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """``repro fleet worker``: join a fleet and pull jobs until stopped."""
+    from .exec import run_worker
+    return run_worker(args.dir, worker_id=args.id, ttl_s=args.ttl,
+                      poll_s=args.poll, max_jobs=args.max_jobs)
+
+
+def cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    """``repro fleet sweep``: drive the stationary sweep via a fleet."""
+    from .exec import FailureBudgetExceeded, SweepInterrupted
+    from .harness import experiments as exp
+    schemes = tuple(s.strip() for s in args.schemes.split(",")
+                    if s.strip())
+    if args.resume:
+        _report_resume(args)
+    backend = _fleet_backend(args, args.dir, args.workers, args.ttl)
+    runner = _supervised_runner(args, backend=backend)
+    try:
+        sweep = exp.run_stationary_sweep(
+            schemes=schemes, n_busy=args.busy, n_idle=args.idle,
+            duration_s=args.duration, base_seed=args.seed,
+            runner=runner)
+    except SweepInterrupted as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 130
+    except FailureBudgetExceeded as exc:
+        print(f"[repro] {exc}", file=sys.stderr)
+        return 3
+    finally:
+        # The runner shuts a persistent backend down when it ran jobs;
+        # cover the all-cache-hits path (and idempotently otherwise)
+        # so spawned local workers never outlive the drive.
+        backend.shutdown(wait=True)
+    _print_sweep(args, sweep)
     return _finish_supervised(runner, sweep.failures)
 
 
@@ -330,7 +414,10 @@ def cmd_metro(args: argparse.Namespace) -> int:
         mset = mset.with_overrides(**overrides)
     if args.resume:
         _report_resume(args)
-    runner = _supervised_runner(args)
+    backend = (_fleet_backend(args, args.fleet_dir, args.fleet_workers,
+                              args.fleet_ttl)
+               if args.fleet_dir else None)
+    runner = _supervised_runner(args, backend=backend)
     try:
         result = run_metro(mset, runner=runner)
     except SweepInterrupted as exc:
@@ -339,6 +426,9 @@ def cmd_metro(args: argparse.Namespace) -> int:
     except FailureBudgetExceeded as exc:
         print(f"[repro] {exc}", file=sys.stderr)
         return 3
+    finally:
+        if backend is not None:
+            backend.shutdown(wait=True)
     print(format_summary(result.matrix))
     write_json_atomic(result.matrix, args.out)
     print(f"wrote matrix ({len(result.matrix['cells'])} cells) to "
@@ -466,6 +556,40 @@ def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
                              "and re-attempt only failures")
 
 
+def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
+    """Seeded fault-injection knobs for fleet drivers."""
+    group = parser.add_argument_group(
+        "chaos injection (deterministic per --chaos-seed; each fault "
+        "fires at most once per job fleet-wide, so sweeps converge to "
+        "the chaos-free result)")
+    group.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the fault plan (default 0)")
+    group.add_argument("--chaos-kill", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker SIGKILLs itself mid-job)")
+    group.add_argument("--chaos-stall", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker stalls heartbeats mid-job)")
+    group.add_argument("--chaos-stall-s", type=float, default=None,
+                       metavar="S",
+                       help="stall duration (default 2.5x the lease "
+                            "TTL, enough to trip reclamation)")
+    group.add_argument("--chaos-delay", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker holds its lease idle before "
+                            "executing, with heartbeats)")
+    group.add_argument("--chaos-delay-s", type=float, default=1.0,
+                       metavar="S", help="claim-delay duration")
+    group.add_argument("--chaos-dup", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker claims over a live lease -> "
+                            "duplicate execution)")
+    group.add_argument("--chaos-corrupt", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker corrupts the result envelope "
+                            "it writes)")
+
+
 def _add_cell_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sinr", type=float, default=18.0,
                         help="mean SINR in dB (default 18)")
@@ -578,9 +702,81 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FILE",
                          help="matrix output path "
                               "(default metro_matrix.json)")
+    p_metro.add_argument("--fleet-dir", default=None, metavar="DIR",
+                         help="route shards through a worker fleet "
+                              "sharing DIR instead of a local process "
+                              "pool (external workers may join with "
+                              "`repro fleet worker --dir DIR`)")
+    p_metro.add_argument("--fleet-workers", type=int, default=2,
+                         metavar="N",
+                         help="local fleet workers to spawn "
+                              "(default 2; 0 = external workers only)")
+    p_metro.add_argument("--fleet-ttl", type=float, default=10.0,
+                         metavar="S",
+                         help="fleet lease TTL in seconds (default 10)")
     _add_exec_options(p_metro)
     _add_supervision_options(p_metro)
+    _add_chaos_options(p_metro)
     p_metro.set_defaults(func=cmd_metro)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="distributed sweep fabric: drive a sweep "
+                      "through (or join) a shared-directory worker "
+                      "fleet")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_cmd", required=True)
+
+    p_fw = fleet_sub.add_parser(
+        "worker", help="join the fleet at --dir: claim jobs under "
+                       "heartbeat-renewed leases until stopped "
+                       "(first SIGTERM finishes the current job and "
+                       "exits; a second abandons it)")
+    p_fw.add_argument("--dir", required=True,
+                      help="the fleet's shared directory")
+    p_fw.add_argument("--id", default=None,
+                      help="worker id (default host-pid)")
+    p_fw.add_argument("--ttl", type=float, default=10.0, metavar="S",
+                      help="lease TTL in seconds (default 10)")
+    p_fw.add_argument("--poll", type=float, default=0.2, metavar="S",
+                      help="idle queue poll interval (default 0.2)")
+    p_fw.add_argument("--max-jobs", type=int, default=None,
+                      help="exit after executing this many jobs")
+    p_fw.set_defaults(func=cmd_fleet_worker)
+
+    p_fs = fleet_sub.add_parser(
+        "sweep", help="run the stationary sweep through a fleet at "
+                      "--dir (spawns local workers; remote ones may "
+                      "join mid-sweep)")
+    p_fs.add_argument("--dir", required=True,
+                      help="shared fleet directory (local path, or a "
+                           "mount every worker host shares)")
+    p_fs.add_argument("--workers", type=int, default=2, metavar="N",
+                      help="local workers to spawn (default 2; "
+                           "0 = external workers only)")
+    p_fs.add_argument("--ttl", type=float, default=10.0, metavar="S",
+                      help="lease TTL in seconds (default 10)")
+    p_fs.add_argument("--schemes", default="pbe,bbr",
+                      help="comma-separated scheme list")
+    p_fs.add_argument("--busy", type=int, default=4,
+                      help="busy locations (paper: 25)")
+    p_fs.add_argument("--idle", type=int, default=2,
+                      help="idle locations (paper: 15)")
+    p_fs.add_argument("--duration", type=float, default=6.0,
+                      help="flow duration in seconds")
+    p_fs.add_argument("--seed", type=int, default=100,
+                      help="base seed of the location grid")
+    p_fs.add_argument("--view", default="summary",
+                      choices=("summary", "table1", "fig12", "fig15"),
+                      help="how to reduce the sweep for printing")
+    p_fs.add_argument("--save", default=None, metavar="FILE",
+                      help="also write per-run JSON entries here")
+    p_fs.add_argument("--cache-dir", default=None,
+                      help="content-addressed result cache directory "
+                           "(required for --resume)")
+    _add_supervision_options(p_fs)
+    _add_chaos_options(p_fs)
+    # The fleet paces itself (capacity=None); `jobs` only gates the
+    # runner's inline shortcut and progress reporting.
+    p_fs.set_defaults(func=cmd_fleet_sweep, jobs=2)
 
     p_cache = sub.add_parser(
         "cache", help="audit the result cache (verify / gc)")

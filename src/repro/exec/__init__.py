@@ -22,6 +22,24 @@ The stationary sweep, the figure drivers, the benchmark suite and the
 ``python -m repro sweep`` command all submit their runs through here.
 """
 
+from .backend import (
+    ExecBackend,
+    ProbeJob,
+    ProcessPoolBackend,
+    job_from_wire,
+    job_to_wire,
+    register_job_kind,
+    wire_kind_of,
+)
+from .chaos import ChaosSpec, chaos_events
+from .fleet import (
+    FleetBackend,
+    FleetWorker,
+    RemoteJobError,
+    WorkerLostError,
+    run_worker,
+    spawn_local_workers,
+)
 from .job import FINGERPRINT_VERSION, Job, canonical_json, scenario_to_dict
 from .journal import (
     JOURNAL_NAME,
@@ -49,11 +67,16 @@ from .supervisor import (
 from .worker import execute_job, initialize_worker
 
 __all__ = [
-    "BackoffPolicy", "FINGERPRINT_VERSION", "FailureBudgetExceeded",
+    "BackoffPolicy", "ChaosSpec", "ExecBackend", "FINGERPRINT_VERSION",
+    "FailureBudgetExceeded", "FleetBackend", "FleetWorker",
     "JOURNAL_NAME", "Job", "JobEvent", "JobExecutionError",
-    "JobFailure", "JournalState", "ParallelRunner", "ResultStore",
+    "JobFailure", "JournalState", "ParallelRunner", "ProbeJob",
+    "ProcessPoolBackend", "RemoteJobError", "ResultStore",
     "RunnerStats", "SignalDrain", "StderrReporter", "StoreStats",
-    "SweepInterrupted", "SweepJournal", "canonical_json",
-    "execute_job", "initialize_worker", "is_failure", "make_runner",
-    "payload_checksum", "scenario_to_dict", "sweep_fingerprint",
+    "SweepInterrupted", "SweepJournal", "WorkerLostError",
+    "canonical_json", "chaos_events", "execute_job",
+    "initialize_worker", "is_failure", "job_from_wire", "job_to_wire",
+    "make_runner", "payload_checksum", "register_job_kind",
+    "run_worker", "scenario_to_dict", "spawn_local_workers",
+    "sweep_fingerprint", "wire_kind_of",
 ]

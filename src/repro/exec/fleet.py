@@ -1,0 +1,778 @@
+"""Fleet execution: a shared on-disk queue, leases, and reclamation.
+
+One sweep, many machines.  The driver (a
+:class:`repro.exec.ParallelRunner` with a :class:`FleetBackend`)
+publishes fingerprinted jobs as JSON files in a shared directory; any
+number of independent ``python -m repro fleet worker`` processes — on
+this host or on others, against the same (possibly SSH/NFS-mounted)
+directory — pull jobs from the queue and push results back.  No
+sockets, no broker: the filesystem's atomic primitives (``O_EXCL``
+create, ``os.replace``) are the whole coordination protocol, which is
+what lets a fleet survive any member dying at any instant.
+
+Layout of a fleet directory::
+
+    fleet/
+      queue/<fp>.json     job wire form (driver writes, workers read)
+      leases/<fp>.json    claim + heartbeat (worker renews every ttl/4)
+      results/<fp>.json   checksummed result envelope (worker writes)
+      workers/<id>.json   worker liveness beacons (telemetry)
+      quarantine/         corrupt results, kept for diagnosis
+      chaos.json          optional :class:`repro.exec.chaos.ChaosSpec`
+      STOP                shutdown sentinel (driver writes at the end)
+
+The robustness contract:
+
+* a claim is an ``O_EXCL`` lease create; an existing lease may only be
+  taken over once it **expires** (no heartbeat for ``ttl_s``);
+* a worker that dies mid-job stops heartbeating; the driver reclaims
+  the expired lease, surfaces :class:`WorkerLostError` and the runner
+  retries the job under its existing
+  :class:`~repro.exec.BackoffPolicy` — fleet reclamation and pool
+  crash-retry share one policy and one stats surface;
+* results travel in the same checksummed envelope as the
+  :class:`~repro.exec.ResultStore`; a corrupt file (torn write, chaos
+  injection) is quarantined and the job re-runs;
+* duplicate completions (lease takeover racing a stalled-but-alive
+  worker) are harmless: jobs are deterministic, so both writers
+  produce identical bytes and atomic rename makes last-write-wins
+  safe;
+* everything flows into the driver's ``ResultStore`` + fsynced
+  ``SweepJournal``, so ``--resume`` works at fleet scope: a SIGKILLed
+  fleet restarted on the same cache re-runs only unfinished jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, Optional, Set, Union
+
+from .backend import ExecBackend, job_from_wire, job_to_wire
+from .chaos import CHAOS_FILE, ChaosSpec, corrupt_bytes
+from .store import ENVELOPE_KEY, SCHEMA_VERSION, payload_checksum
+from .worker import execute_job, initialize_worker
+
+QUEUE_DIR = "queue"
+LEASE_DIR = "leases"
+RESULT_DIR = "results"
+WORKERS_DIR = "workers"
+QUARANTINE_DIR = "quarantine"
+STOP_FILE = "STOP"
+
+#: Default lease time-to-live: a worker that misses heartbeats for
+#: this long is presumed dead and its job is reclaimed.
+DEFAULT_TTL_S = 10.0
+#: Heartbeats renew the lease at ttl/4, so one missed beat never costs
+#: a lease.
+HEARTBEAT_FRACTION = 0.25
+
+
+class WorkerLostError(OSError):
+    """The fleet worker executing a job was lost (or its result was).
+
+    An :class:`OSError` subclass on purpose: the runner already treats
+    ``OSError`` from a backend as "the worker died, not the job" and
+    retries with backoff — lease expiry, vanished results and corrupt
+    envelopes all reduce to that same contract.
+    """
+
+
+class RemoteJobError(RuntimeError):
+    """A job's own code raised on a fleet worker.
+
+    Carries the remote exception's type/message/traceback as captured
+    by the worker; the runner records it as a terminal ``job-error``
+    (non-retryable), exactly like an exception from a pool worker.
+    """
+
+    def __init__(self, exc_type: str, message: str,
+                 traceback: str = "") -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.remote_type = exc_type
+        self.remote_message = message
+        self.remote_traceback = traceback
+
+
+# ---------------------------------------------------------------------
+# Small filesystem helpers (shared by driver and worker sides).
+
+def _read_json(path: Path) -> Optional[dict]:
+    """Parse a JSON file, tolerating races and torn writes (→ None)."""
+    try:
+        data = json.loads(path.read_text())
+    except (FileNotFoundError, OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _write_bytes_atomic(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        path.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def lease_expired(lease: Optional[dict], now: Optional[float] = None,
+                  default_ttl_s: float = DEFAULT_TTL_S) -> bool:
+    """True when a lease record has gone ``ttl_s`` without renewal."""
+    if lease is None:
+        return True
+    now = time.time() if now is None else now
+    renewed = lease.get("renewed", 0.0)
+    ttl = lease.get("ttl_s", default_ttl_s)
+    if not isinstance(renewed, (int, float)) \
+            or not isinstance(ttl, (int, float)):
+        return True
+    return now - renewed > ttl
+
+
+def try_claim(root: Union[str, Path], fingerprint: str, worker_id: str,
+              ttl_s: float = DEFAULT_TTL_S,
+              force: bool = False) -> bool:
+    """Atomically claim one job's lease.
+
+    The fast path is an ``O_EXCL`` create — exactly one of N racing
+    workers wins.  An existing lease may be taken over only when it is
+    expired (its worker stopped heartbeating) or ``force`` is set (the
+    chaos injector's duplicate-claim fault).  Takeover itself is an
+    atomic replace; if two workers take over the same expired lease in
+    the same instant both will run the job, which the fabric tolerates
+    by design (deterministic jobs, last-write-wins results).
+    """
+    path = Path(root) / LEASE_DIR / f"{fingerprint}.json"
+    now = time.time()
+    record = {"worker": worker_id, "fingerprint": fingerprint,
+              "acquired": now, "renewed": now, "ttl_s": ttl_s}
+    encoded = json.dumps(record, separators=(",", ":")).encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        if not force and not lease_expired(_read_json(path), now):
+            return False
+        try:
+            _write_bytes_atomic(path, encoded)
+        except OSError:
+            return False
+        return True
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        _unlink_quiet(path)
+        return False
+    return True
+
+
+def release_lease(root: Union[str, Path], fingerprint: str) -> None:
+    _unlink_quiet(Path(root) / LEASE_DIR / f"{fingerprint}.json")
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Renews one lease every ``ttl/4`` while its job executes.
+
+    Reads the lease before each renewal: if another worker took it
+    over (duplicate-claim chaos, or an over-eager reclaim), the thread
+    flags :attr:`lost` and stops renewing — the job keeps running and
+    its (identical) result is still written, but the lease now belongs
+    to someone else.  ``stall_s`` suppresses renewal for that long at
+    the start — the chaos injector's heartbeat-stall fault.
+    """
+
+    def __init__(self, root: Path, fingerprint: str, worker_id: str,
+                 ttl_s: float, stall_s: float = 0.0) -> None:
+        super().__init__(daemon=True,
+                         name=f"lease-{fingerprint[:8]}")
+        self.root = root
+        self.fingerprint = fingerprint
+        self.worker_id = worker_id
+        self.ttl_s = ttl_s
+        self.stall_s = stall_s
+        self.lost = False
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        path = self.root / LEASE_DIR / f"{self.fingerprint}.json"
+        if self.stall_s > 0 and self._halt.wait(self.stall_s):
+            return
+        period = max(0.02, self.ttl_s * HEARTBEAT_FRACTION)
+        while not self._halt.wait(period):
+            lease = _read_json(path)
+            if lease is None or lease.get("worker") != self.worker_id:
+                self.lost = True
+                return
+            lease["renewed"] = time.time()
+            try:
+                _write_bytes_atomic(path, json.dumps(
+                    lease, separators=(",", ":")).encode())
+            except OSError:  # pragma: no cover - transient fs hiccup
+                pass
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------
+# Worker side.
+
+class _TermSignal(Exception):
+    """Second SIGTERM: abandon the leased job immediately."""
+
+
+class FleetWorker:
+    """One queue-pulling worker process (``repro fleet worker``).
+
+    SIGTERM is two-stage, mirroring the driver's
+    :class:`~repro.exec.SignalDrain`: the first requests a stop (the
+    current job finishes, its result persists, the lease is released,
+    the loop exits); a second abandons the job mid-flight — the lease
+    is released so any other worker can pick the job up immediately
+    instead of waiting out the TTL.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 worker_id: Optional[str] = None,
+                 ttl_s: float = DEFAULT_TTL_S,
+                 poll_s: float = 0.2,
+                 max_jobs: Optional[int] = None,
+                 chaos: Optional[ChaosSpec] = None,
+                 log=None) -> None:
+        self.root = Path(root)
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}")
+        self.ttl_s = ttl_s
+        self.poll_s = poll_s
+        self.max_jobs = max_jobs
+        self.chaos = (chaos if chaos is not None
+                      else ChaosSpec.load(self.root / CHAOS_FILE))
+        self.log = log if log is not None else sys.stderr
+        self.executed = 0
+        self.stop_requested = False
+        self._beacon_at = 0.0
+
+    # -- signals -------------------------------------------------------
+    def _handle_sigterm(self, signum, frame) -> None:
+        if self.stop_requested:
+            raise _TermSignal
+        self.stop_requested = True
+
+    def install_signals(self) -> None:
+        initialize_worker(role="fleet")
+        try:
+            signal.signal(signal.SIGTERM, self._handle_sigterm)
+        except (ValueError, OSError):  # pragma: no cover - non-main
+            pass
+
+    # -- liveness beacon ----------------------------------------------
+    def _beacon(self) -> None:
+        now = time.time()
+        if now - self._beacon_at < self.ttl_s:
+            return
+        self._beacon_at = now
+        record = {"worker": self.worker_id, "pid": os.getpid(),
+                  "renewed": now}
+        try:
+            _write_bytes_atomic(
+                self.root / WORKERS_DIR / f"{self.worker_id}.json",
+                json.dumps(record, separators=(",", ":")).encode())
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
+
+    def _say(self, message: str) -> None:
+        print(f"[repro.fleet:{self.worker_id}] {message}",
+              file=self.log, flush=True)
+
+    # -- claiming ------------------------------------------------------
+    def _claimable(self) -> Iterable[tuple]:
+        """(fingerprint, entry, force) candidates, deterministic order."""
+        queue = self.root / QUEUE_DIR
+        if not queue.is_dir():
+            return
+        for path in sorted(queue.glob("*.json")):
+            fp = path.stem
+            if (self.root / RESULT_DIR / f"{fp}.json").exists():
+                continue
+            lease = _read_json(self.root / LEASE_DIR / f"{fp}.json")
+            if lease is not None and not lease_expired(lease):
+                if self.chaos is not None and self.chaos.fire(
+                        self.root, "duplicate_claim", fp):
+                    yield fp, path, True  # race the live owner
+                continue
+            yield fp, path, False
+
+    # -- execution -----------------------------------------------------
+    def _sleep_interruptible(self, seconds: float) -> None:
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline and not self.stop_requested:
+            time.sleep(min(0.05, deadline - time.monotonic()))
+
+    def _write_result(self, fingerprint: str, payload: dict) -> None:
+        entry = {ENVELOPE_KEY: SCHEMA_VERSION,
+                 "sha256": payload_checksum(payload),
+                 "payload": payload}
+        encoded = json.dumps(entry, separators=(",", ":")).encode()
+        if self.chaos is not None and self.chaos.fire(
+                self.root, "corrupt", fingerprint):
+            encoded = corrupt_bytes(encoded, self.chaos.seed,
+                                    fingerprint)
+            self._say(f"chaos: corrupting result {fingerprint[:12]}")
+        _write_bytes_atomic(
+            self.root / RESULT_DIR / f"{fingerprint}.json", encoded)
+
+    def _write_failure(self, fingerprint: str,
+                       exc: BaseException) -> None:
+        import traceback as traceback_module
+        tb = "".join(traceback_module.format_exception(
+            type(exc), exc, exc.__traceback__))
+        entry = {"kind": "failure",
+                 "failure": {"exc_type": type(exc).__name__,
+                             "message": str(exc), "traceback": tb}}
+        _write_bytes_atomic(
+            self.root / RESULT_DIR / f"{fingerprint}.json",
+            json.dumps(entry, separators=(",", ":")).encode())
+
+    def _execute_claimed(self, fingerprint: str,
+                         entry_path: Path) -> None:
+        entry = _read_json(entry_path)
+        if entry is None:  # cancelled/collected under us
+            release_lease(self.root, fingerprint)
+            return
+        chaos = self.chaos
+        heartbeat = _LeaseHeartbeat(
+            self.root, fingerprint, self.worker_id, self.ttl_s,
+            stall_s=(chaos.stall_s if chaos is not None
+                     and chaos.fire(self.root, "stall", fingerprint)
+                     else 0.0))
+        heartbeat.start()
+        try:
+            if chaos is not None and chaos.fire(self.root, "kill",
+                                                fingerprint):
+                self._say(f"chaos: SIGKILL mid-job "
+                          f"{fingerprint[:12]}")
+                self.log.flush() if hasattr(self.log, "flush") else None
+                os.kill(os.getpid(), signal.SIGKILL)
+            if chaos is not None and chaos.fire(
+                    self.root, "claim_delay", fingerprint):
+                self._say(f"chaos: delaying claimed job "
+                          f"{fingerprint[:12]} by "
+                          f"{chaos.claim_delay_s}s")
+                self._sleep_interruptible(chaos.claim_delay_s)
+            try:
+                job = job_from_wire(entry)
+                payload = execute_job(job)
+            except _TermSignal:
+                raise
+            except Exception as exc:
+                self._write_failure(fingerprint, exc)
+                self.executed += 1  # failed jobs count toward max_jobs
+                self._say(f"{entry.get('label', fingerprint[:12])} "
+                          f"raised {type(exc).__name__}: {exc}")
+            else:
+                self._write_result(fingerprint, payload)
+                self.executed += 1
+                self._say(f"done {entry.get('label', '?')} "
+                          f"({self.executed} executed)")
+        finally:
+            heartbeat.stop()
+            release_lease(self.root, fingerprint)
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> int:
+        """Pull and execute jobs until stopped; returns an exit code."""
+        self._say(f"joining fleet at {self.root} "
+                  f"(ttl {self.ttl_s:g}s)")
+        try:
+            while not self.stop_requested:
+                self._beacon()
+                if (self.root / STOP_FILE).exists():
+                    self._say("stop sentinel seen; exiting")
+                    break
+                if (self.max_jobs is not None
+                        and self.executed >= self.max_jobs):
+                    break
+                claimed = False
+                for fp, entry_path, force in self._claimable():
+                    if self.stop_requested:
+                        break
+                    if not try_claim(self.root, fp, self.worker_id,
+                                     ttl_s=self.ttl_s, force=force):
+                        continue
+                    claimed = True
+                    self._execute_claimed(fp, entry_path)
+                    break  # rescan: fresh view of queue and leases
+                if not claimed and not self.stop_requested:
+                    time.sleep(self.poll_s)
+        except _TermSignal:
+            self._say("second SIGTERM: abandoning leased job")
+            return 1
+        self._say(f"exiting after {self.executed} jobs")
+        return 0
+
+
+def run_worker(root: Union[str, Path],
+               worker_id: Optional[str] = None,
+               ttl_s: float = DEFAULT_TTL_S, poll_s: float = 0.2,
+               max_jobs: Optional[int] = None) -> int:
+    """Entry point behind ``python -m repro fleet worker``."""
+    worker = FleetWorker(root, worker_id=worker_id, ttl_s=ttl_s,
+                         poll_s=poll_s, max_jobs=max_jobs)
+    worker.install_signals()
+    return worker.run()
+
+
+def spawn_local_workers(root: Union[str, Path], count: int,
+                        ttl_s: float = DEFAULT_TTL_S,
+                        poll_s: float = 0.2,
+                        prefix: str = "local") -> list:
+    """Start ``count`` worker subprocesses against ``root``.
+
+    Workers inherit the environment plus a ``PYTHONPATH`` that
+    resolves this very package, so spawning works from tests and
+    checkouts alike.  Each worker's stderr lands in
+    ``workers/<id>.log`` for post-mortems.
+    """
+    root = Path(root)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    (root / WORKERS_DIR).mkdir(parents=True, exist_ok=True)
+    procs = []
+    for i in range(count):
+        worker_id = f"{prefix}-{i}-{os.getpid()}"
+        log = open(root / WORKERS_DIR / f"{worker_id}.log", "ab")
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet", "worker",
+             "--dir", str(root), "--id", worker_id,
+             "--ttl", str(ttl_s), "--poll", str(poll_s)],
+            env=env, stdout=log, stderr=subprocess.STDOUT))
+        log.close()  # the child holds its own descriptor
+    return procs
+
+
+# ---------------------------------------------------------------------
+# Driver side.
+
+class FleetHandle:
+    """Driver-side tracking for one in-fleet job."""
+
+    __slots__ = ("fingerprint", "label", "error")
+
+    def __init__(self, fingerprint: str, label: str) -> None:
+        self.fingerprint = fingerprint
+        self.label = label
+        self.error: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetHandle({self.label}, {self.fingerprint[:12]})"
+
+
+class FleetBackend(ExecBackend):
+    """Drive a sweep through a shared-directory worker fleet.
+
+    ``local_workers`` > 0 spawns that many worker subprocesses against
+    the fleet directory (and respawns any that die — chaos kills,
+    OOMs); external workers on other hosts join by running ``python -m
+    repro fleet worker --dir <shared-path>`` at any time, including
+    mid-sweep.  The backend is ``persistent``: one instance spans
+    every retry round, accumulating ``lease_reclaims`` /
+    ``worker_restarts`` telemetry that the runner folds into its
+    :class:`~repro.exec.RunnerStats`.
+    """
+
+    name = "fleet"
+    persistent = True
+    capacity = None  # enqueue everything; workers pace themselves
+
+    def __init__(self, root: Union[str, Path],
+                 ttl_s: float = DEFAULT_TTL_S,
+                 poll_s: float = 0.1,
+                 local_workers: int = 0,
+                 chaos: Optional[ChaosSpec] = None,
+                 telemetry=None,
+                 respawn: bool = True,
+                 max_restarts: int = 1000) -> None:
+        self.root = Path(root)
+        self.ttl_s = ttl_s
+        self.poll_s = poll_s
+        self.telemetry = telemetry
+        self.respawn = respawn
+        self.max_restarts = max_restarts
+        self.lease_reclaims = 0
+        self.worker_restarts = 0
+        self.corrupt_results = 0
+        self.collected = 0
+        self._handles: dict = {}
+        self._telemetry_at = 0.0
+        self._shutdown = False
+        for sub in (QUEUE_DIR, LEASE_DIR, RESULT_DIR, WORKERS_DIR):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        # A fresh driver owns the directory: clear a previous run's
+        # stop sentinel so workers (re)joining don't exit on sight.
+        _unlink_quiet(self.root / STOP_FILE)
+        if chaos is not None:
+            chaos.save(self.root / CHAOS_FILE)
+        self.chaos = (chaos if chaos is not None
+                      else ChaosSpec.load(self.root / CHAOS_FILE))
+        self._local_n = local_workers
+        self._procs = (spawn_local_workers(
+            self.root, local_workers, ttl_s=ttl_s)
+            if local_workers else [])
+
+    # -- paths ---------------------------------------------------------
+    def _queue_path(self, fp: str) -> Path:
+        return self.root / QUEUE_DIR / f"{fp}.json"
+
+    def _lease_path(self, fp: str) -> Path:
+        return self.root / LEASE_DIR / f"{fp}.json"
+
+    def _result_path(self, fp: str) -> Path:
+        return self.root / RESULT_DIR / f"{fp}.json"
+
+    # -- ExecBackend ---------------------------------------------------
+    def submit(self, job) -> FleetHandle:
+        wire = job_to_wire(job)
+        fp = wire["fingerprint"]
+        handle = FleetHandle(fp, wire["label"])
+        # Stale state from a dead fleet (or an earlier attempt): an
+        # expired lease is cleared now rather than waited out; a
+        # pre-existing result is kept only if it validates — a
+        # completed-but-uncollected job from a SIGKILLed driver is
+        # picked up for free, which is fleet-scope resume.
+        lease = _read_json(self._lease_path(fp))
+        if lease is not None and lease_expired(lease):
+            _unlink_quiet(self._lease_path(fp))
+        result = self._result_path(fp)
+        if result.exists() and self._validate(fp, quarantine=False) is None:
+            _unlink_quiet(result)
+        from ..harness.serialize import write_json_atomic
+        write_json_atomic(wire, self._queue_path(fp), indent=None)
+        self._handles[fp] = handle
+        return handle
+
+    def wait(self, handles: Set[FleetHandle],
+             timeout: float) -> Set[FleetHandle]:
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            done: Set[FleetHandle] = set()
+            now = time.time()
+            for handle in handles:
+                if handle.error is not None \
+                        or self._result_path(handle.fingerprint).exists():
+                    done.add(handle)
+                    continue
+                lease = _read_json(self._lease_path(handle.fingerprint))
+                if lease is not None and lease_expired(lease, now):
+                    # The worker stopped heartbeating: reclaim.  The
+                    # runner retries under its BackoffPolicy — one
+                    # retry machinery for pool crashes and fleet
+                    # losses alike.
+                    _unlink_quiet(self._lease_path(handle.fingerprint))
+                    self.lease_reclaims += 1
+                    handle.error = WorkerLostError(
+                        f"lease on {handle.label} expired (worker "
+                        f"{lease.get('worker', '?')} stopped "
+                        f"heartbeating); job reclaimed")
+                    done.add(handle)
+            self._respawn_dead()
+            self._telemetry_tick(handles, done)
+            remaining = deadline - time.monotonic()
+            if done or remaining <= 0:
+                return done
+            time.sleep(min(self.poll_s, max(0.01, remaining)))
+
+    def result(self, handle: FleetHandle) -> dict:
+        if handle.error is not None:
+            error = handle.error
+            handle.error = None  # a resubmitted handle starts clean
+            raise error
+        payload = self._validate(handle.fingerprint, quarantine=True)
+        if payload is None:
+            # Corrupt in transit: quarantined by _validate; the queue
+            # entry stays so workers re-execute after the runner
+            # resubmits.
+            raise WorkerLostError(
+                f"result for {handle.label} corrupt in transit; "
+                f"quarantined and re-queued")
+        if isinstance(payload, RemoteJobError):
+            self._cleanup(handle.fingerprint)
+            raise payload
+        self.collected += 1
+        self._cleanup(handle.fingerprint)
+        return payload
+
+    def cancel(self, handle: FleetHandle) -> bool:
+        if handle.error is not None \
+                or self._result_path(handle.fingerprint).exists():
+            return False
+        lease = _read_json(self._lease_path(handle.fingerprint))
+        if lease is not None and not lease_expired(lease):
+            return False  # genuinely executing somewhere
+        _unlink_quiet(self._queue_path(handle.fingerprint))
+        return True
+
+    def done(self, handle: FleetHandle) -> bool:
+        return (handle.error is not None
+                or self._result_path(handle.fingerprint).exists())
+
+    def exec_elapsed(self, handle: FleetHandle,
+                     submitted_elapsed: float) -> float:
+        """Deadlines measure claim-to-now: queue wait is not execution."""
+        lease = _read_json(self._lease_path(handle.fingerprint))
+        if lease is None:
+            return 0.0
+        acquired = lease.get("acquired")
+        if not isinstance(acquired, (int, float)):
+            return 0.0
+        return max(0.0, time.time() - acquired)
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        try:
+            (self.root / STOP_FILE).touch()
+        except OSError:  # pragma: no cover - unwritable fleet dir
+            pass
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:  # pragma: no cover
+                    pass
+        if wait:
+            deadline = time.monotonic() + max(5.0, 2 * self.ttl_s)
+            for proc in self._procs:
+                budget = deadline - time.monotonic()
+                try:
+                    proc.wait(timeout=max(0.1, budget))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+        else:
+            for proc in self._procs:
+                if proc.poll() is None:
+                    proc.kill()
+
+    # -- internals -----------------------------------------------------
+    def _validate(self, fp: str, quarantine: bool):
+        """Payload dict, :class:`RemoteJobError`, or None (invalid).
+
+        Invalid results are optionally quarantined (driver collection
+        path) — preserved for diagnosis under ``quarantine/`` and
+        removed from ``results/`` so the job re-executes.
+        """
+        path = self._result_path(fp)
+        try:
+            raw = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return None
+        entry = None
+        try:
+            entry = json.loads(raw.decode("utf-8", errors="strict"))
+        except (ValueError, UnicodeDecodeError):
+            pass
+        if isinstance(entry, dict) and entry.get("kind") == "failure":
+            failure = entry.get("failure") or {}
+            return RemoteJobError(
+                failure.get("exc_type", "Exception"),
+                failure.get("message", "remote job failed"),
+                failure.get("traceback", ""))
+        if (isinstance(entry, dict)
+                and entry.get(ENVELOPE_KEY) == SCHEMA_VERSION
+                and isinstance(entry.get("payload"), dict)
+                and entry.get("sha256")
+                == payload_checksum(entry["payload"])):
+            return entry["payload"]
+        if quarantine:
+            dest = self.root / QUARANTINE_DIR / f"{fp}.json"
+            try:
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, dest)
+            except OSError:
+                _unlink_quiet(path)
+            self.corrupt_results += 1
+        return None
+
+    def _cleanup(self, fp: str) -> None:
+        _unlink_quiet(self._queue_path(fp))
+        _unlink_quiet(self._lease_path(fp))
+        _unlink_quiet(self._result_path(fp))
+
+    def _respawn_dead(self) -> None:
+        if self._shutdown or not self.respawn:
+            return
+        for i, proc in enumerate(self._procs):
+            if proc.poll() is None:
+                continue
+            if self.worker_restarts >= self.max_restarts:
+                return  # runaway backstop; external workers may remain
+            self.worker_restarts += 1
+            replacement = spawn_local_workers(
+                self.root, 1, ttl_s=self.ttl_s,
+                prefix=f"respawn{self.worker_restarts}")
+            self._procs[i] = replacement[0]
+
+    def live_workers(self) -> int:
+        """Workers with a fresh liveness beacon (local or remote)."""
+        beacons = self.root / WORKERS_DIR
+        if not beacons.is_dir():
+            return 0
+        now = time.time()
+        alive = 0
+        for path in beacons.glob("*.json"):
+            record = _read_json(path)
+            if record is not None and now - record.get(
+                    "renewed", 0.0) < 3 * self.ttl_s:
+                alive += 1
+        return alive
+
+    def _telemetry_tick(self, handles, done) -> None:
+        if self.telemetry is None:
+            return
+        now = time.monotonic()
+        if now - self._telemetry_at < 1.0:
+            return
+        self._telemetry_at = now
+        queued = sum(1 for _ in (self.root / QUEUE_DIR).glob("*.json"))
+        leased = sum(1 for _ in (self.root / LEASE_DIR).glob("*.json"))
+        self.telemetry(
+            f"fleet: {self.live_workers()} workers "
+            f"({sum(1 for p in self._procs if p.poll() is None)} "
+            f"local), {queued} queued, {leased} leased, "
+            f"{self.collected} collected, "
+            f"{self.lease_reclaims} reclaimed, "
+            f"{self.worker_restarts} respawned")

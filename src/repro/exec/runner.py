@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from .backend import ExecBackend, ProcessPoolBackend
 from .job import Job
 from .journal import JOURNAL_NAME, SweepJournal, sweep_fingerprint
 from .store import ResultStore
@@ -97,6 +98,11 @@ class RunnerStats:
     quarantined: int = 0
     #: Total seconds slept in retry backoff.
     backoff_s: float = 0.0
+    #: Fleet backend only: expired leases reclaimed (each one is a job
+    #: re-queued after its worker stopped heartbeating).
+    lease_reclaims: int = 0
+    #: Fleet backend only: dead local workers respawned by the driver.
+    worker_restarts: int = 0
     job_wall_s: list = field(default_factory=list)
     wall_s: float = 0.0
 
@@ -105,13 +111,17 @@ class RunnerStats:
         return self.cache_hits / self.total if self.total else 0.0
 
     def format(self) -> str:
+        fleet = ""
+        if self.lease_reclaims or self.worker_restarts:
+            fleet = (f", {self.lease_reclaims} leases reclaimed, "
+                     f"{self.worker_restarts} workers respawned")
         return (f"{self.total} jobs: {self.executed} executed, "
                 f"{self.cache_hits} cached "
                 f"({100 * self.cache_hit_rate:.0f}% hit rate), "
                 f"{self.deduplicated} deduplicated, "
                 f"{self.retries} retries, {self.failed} failed, "
                 f"{self.quarantined} quarantined, "
-                f"{self.backoff_s:.1f}s backoff, "
+                f"{self.backoff_s:.1f}s backoff{fleet}, "
                 f"{self.wall_s:.1f}s wall")
 
 
@@ -174,6 +184,7 @@ class ParallelRunner:
                  backoff: Optional[BackoffPolicy] = None,
                  journal: Optional[SweepJournal] = None,
                  handle_signals: bool = True,
+                 backend: Optional[ExecBackend] = None,
                  ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -193,6 +204,12 @@ class ParallelRunner:
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.journal = journal
         self.handle_signals = handle_signals
+        #: Explicit execution backend (e.g. a
+        #: :class:`repro.exec.fleet.FleetBackend`).  ``None`` keeps the
+        #: default behaviour: a fresh :class:`ProcessPoolBackend` per
+        #: retry round, with inline fallback when the platform has no
+        #: usable process pool.
+        self.backend = backend
         self.stats = RunnerStats()
         self._done = 0
         #: True while the current pool round holds a timed-out worker
@@ -245,7 +262,8 @@ class ParallelRunner:
         try:
             with drain:
                 if pending:
-                    if self.jobs == 1 or len(pending) == 1:
+                    if (self.backend is None
+                            and (self.jobs == 1 or len(pending) == 1)):
                         self._run_inline(pending, fingerprints, results,
                                          drain)
                     else:
@@ -363,34 +381,61 @@ class ParallelRunner:
                   results: list, drain: SignalDrain) -> None:
         attempts: dict[int, int] = {}
         queue = list(pending)
-        while queue and not drain.stop_requested:
-            executor = self._make_executor(len(queue))
-            if executor is None:
-                self._emit("fallback",
-                           detail="process pool unavailable; "
-                                  "running jobs inline")
-                self._run_inline(queue, fingerprints, results, drain)
-                return
-            retry_queue: list[tuple[int, Job]] = []
-            self._hung_worker = False
-            try:
-                self._collect(executor, min(self.jobs, len(queue)),
-                              queue, attempts, retry_queue,
-                              fingerprints, results, drain)
-            finally:
-                # Waiting reclaims worker processes cleanly; skip it
-                # only when a timed-out (possibly hung) worker would
-                # block the join forever — including when _collect
-                # exited via an exception (strict mode, failure
-                # budget), which is why the flag lives on self.
-                executor.shutdown(wait=not self._hung_worker,
-                                  cancel_futures=True)
-            if retry_queue and not drain.stop_requested:
-                self._sleep_backoff(retry_queue, attempts, fingerprints,
-                                    drain)
-            queue = retry_queue
+        persistent = None
+        try:
+            while queue and not drain.stop_requested:
+                backend = persistent or self._make_backend(len(queue))
+                if backend is None:
+                    self._emit("fallback",
+                               detail="process pool unavailable; "
+                                      "running jobs inline")
+                    self._run_inline(queue, fingerprints, results, drain)
+                    return
+                if backend.persistent or backend is self.backend:
+                    # Fleet backends span rounds by contract; a
+                    # caller-supplied backend is the caller's to reuse,
+                    # so it must survive rounds too (shut down once,
+                    # below).
+                    persistent = backend
+                capacity = backend.capacity or len(queue)
+                retry_queue: list[tuple[int, Job]] = []
+                self._hung_worker = False
+                try:
+                    self._collect(backend, min(capacity, len(queue)),
+                                  queue, attempts, retry_queue,
+                                  fingerprints, results, drain)
+                finally:
+                    self._merge_backend_stats(backend)
+                    if backend is not persistent:
+                        # Waiting reclaims worker processes cleanly;
+                        # skip it only when a timed-out (possibly hung)
+                        # worker would block the join forever —
+                        # including when _collect exited via an
+                        # exception (strict mode, failure budget),
+                        # which is why the flag lives on self.
+                        backend.shutdown(wait=not self._hung_worker,
+                                         cancel_futures=True)
+                if retry_queue and not drain.stop_requested:
+                    self._sleep_backoff(retry_queue, attempts,
+                                        fingerprints, drain)
+                queue = retry_queue
+        finally:
+            if persistent is not None:
+                # A fleet backend spans every retry round; release it
+                # (stop sentinel, local-worker teardown) exactly once,
+                # even when an abort propagates.
+                self._merge_backend_stats(persistent)
+                persistent.shutdown(wait=not self._hung_worker,
+                                    cancel_futures=True)
 
-    def _collect(self, executor: ProcessPoolExecutor, workers: int,
+    def _merge_backend_stats(self, backend: ExecBackend) -> None:
+        """Fold backend-side telemetry counters into the stats."""
+        self.stats.lease_reclaims = getattr(
+            backend, "lease_reclaims", self.stats.lease_reclaims)
+        self.stats.worker_restarts = getattr(
+            backend, "worker_restarts", self.stats.worker_restarts)
+
+    def _collect(self, backend: ExecBackend, workers: int,
                  queue: list, attempts: dict, retry_queue: list,
                  fingerprints: list, results: list,
                  drain: SignalDrain) -> None:
@@ -423,21 +468,21 @@ class ParallelRunner:
                 # Stop request: drop what never reached the pool; what
                 # is executing drains to completion.
                 to_submit.clear()
-                for future in list(running):
-                    if future.cancel():
-                        running.pop(future)
+                for handle in list(running):
+                    if backend.cancel(handle):
+                        running.pop(handle)
             while (to_submit and not drain.stop_requested
                    and len(running) + len(zombies) < workers):
                 index, job = to_submit.pop(0)
                 try:
-                    future = executor.submit(execute_job, job)
+                    handle = backend.submit(job)
                 except _CRASH_ERRORS as exc:
                     self._handle_failure(
                         index, job, attempts, retry_queue, exc,
                         crashed=True, fingerprints=fingerprints,
                         results=results)
                     continue
-                running[future] = (index, job, time.monotonic())
+                running[handle] = (index, job, time.monotonic())
             if not running:
                 if to_submit and zombies:
                     # Every worker is stuck past its deadline; hand the
@@ -451,18 +496,17 @@ class ParallelRunner:
                     started + self.timeout_s
                     for _, _, started in running.values())
                 timeout = min(timeout, max(0.0, next_deadline - now))
-            done, _ = wait(set(running) | zombies, timeout=timeout,
-                           return_when=FIRST_COMPLETED)
-            for future in done:
-                if future in zombies:
+            done = backend.wait(set(running) | zombies, timeout=timeout)
+            for handle in done:
+                if handle in zombies:
                     # Its outcome (timeout) is already recorded; the
                     # worker merely came back — capacity returns.
-                    zombies.discard(future)
+                    zombies.discard(handle)
                     continue
-                index, job, started = running.pop(future)
+                index, job, started = running.pop(handle)
                 wall_s = time.monotonic() - started
                 try:
-                    payload = future.result()
+                    payload = backend.result(handle)
                 except _CRASH_ERRORS as exc:
                     self._handle_failure(
                         index, job, attempts, retry_queue, exc,
@@ -482,11 +526,15 @@ class ParallelRunner:
             if self.timeout_s is None:
                 continue
             now = time.monotonic()
-            for future, (index, job, started) in list(running.items()):
-                if now - started < self.timeout_s or future.done():
-                    continue  # done futures collect on the next pass
-                running.pop(future)
-                if future.cancel():
+            for handle, (index, job, started) in list(running.items()):
+                # Queue-based backends subtract unclaimed wait, so the
+                # deadline always measures *execution* time, exactly
+                # like the pool's submit-throttled clock.
+                elapsed = backend.exec_elapsed(handle, now - started)
+                if elapsed < self.timeout_s or backend.done(handle):
+                    continue  # done handles collect on the next pass
+                running.pop(handle)
+                if backend.cancel(handle):
                     # Rare race: the pool never picked it up.  Queue
                     # wait is not execution — hand it back with a
                     # fresh clock, no attempt consumed.
@@ -496,7 +544,7 @@ class ParallelRunner:
                 # Flag before _handle_failure, which may raise (strict
                 # mode, failure budget) — shutdown must see the flag.
                 self._hung_worker = True
-                zombies.add(future)
+                zombies.add(handle)
                 self._handle_failure(
                     index, job, attempts, retry_queue,
                     TimeoutError(f"no result within {self.timeout_s}s"),
@@ -562,6 +610,16 @@ class ParallelRunner:
             time.sleep(min(remaining, 0.1))
         self.stats.backoff_s += delay
 
+    def _make_backend(self, n_pending: int) -> Optional[ExecBackend]:
+        """The backend for one retry round (None → run inline)."""
+        if self.backend is not None:
+            return self.backend
+        executor = self._make_executor(n_pending)
+        if executor is None:
+            return None
+        return ProcessPoolBackend(workers=min(self.jobs, n_pending),
+                                  executor=executor)
+
     def _make_executor(self, n_pending: int
                        ) -> Optional[ProcessPoolExecutor]:
         workers = min(self.jobs, n_pending)
@@ -584,7 +642,8 @@ def make_runner(jobs: int = 1, cache_dir=None,
                 strict: bool = False,
                 failure_budget: Optional[float] = None,
                 journal=None,
-                handle_signals: bool = True) -> ParallelRunner:
+                handle_signals: bool = True,
+                backend: Optional[ExecBackend] = None) -> ParallelRunner:
     """The experiment drivers' shared runner-construction shorthand.
 
     Passing an explicit ``runner`` wins (and exposes its ``stats`` to
@@ -606,4 +665,5 @@ def make_runner(jobs: int = 1, cache_dir=None,
                           retries=retries, timeout_s=timeout_s,
                           strict=strict, failure_budget=failure_budget,
                           journal=journal,
-                          handle_signals=handle_signals)
+                          handle_signals=handle_signals,
+                          backend=backend)

@@ -137,12 +137,22 @@ class ResultStore:
         return payload
 
     def put(self, fingerprint: str, payload: dict) -> None:
-        """Persist one completed job's payload (atomic, checksummed)."""
+        """Persist one completed job's payload (atomic, checksummed).
+
+        Safe under concurrent writers on the same fingerprint (two
+        sweeps sharing a cache, or a fleet's duplicate completion):
+        each writer stages a private temp file and commits with an
+        atomic rename, so the race resolves to last-write-wins and a
+        reader can never observe a half-written entry — and since jobs
+        are deterministic, the racing writers carry identical payloads
+        anyway.  ``fsync`` before the rename keeps a machine crash
+        from leaving an empty (→ quarantined) entry behind.
+        """
         entry = {ENVELOPE_KEY: SCHEMA_VERSION,
                  "sha256": payload_checksum(payload),
                  "payload": payload}
         write_json_atomic(entry, self.path_for(fingerprint),
-                          indent=None)
+                          indent=None, fsync=True)
 
     def discard(self, fingerprint: str) -> None:
         """Drop one entry (missing entries are fine)."""

@@ -16,20 +16,33 @@ import signal
 from .job import Job
 
 
-def initialize_worker() -> None:
-    """Pool-worker initializer.
+def initialize_worker(role: str = "pool") -> None:
+    """Worker initializer (pool children and standalone fleet workers).
 
     Pins the math libraries to one thread per worker (the parallelism
-    budget belongs to the process pool, not to BLAS), and ignores
-    SIGINT/SIGTERM so a Ctrl-C (or a terminal-wide TERM) interrupts
-    only the parent, whose :class:`repro.exec.SignalDrain` then drains
-    in-flight jobs cleanly — completed jobs already sit in the result
-    store and journal, making interrupted sweeps resumable.
+    budget belongs to the process pool / fleet, not to BLAS), then
+    configures signals by *role*:
+
+    ``"pool"`` (the :class:`ProcessPoolExecutor` initializer default)
+    ignores SIGINT **and** SIGTERM so a Ctrl-C (or a terminal-wide
+    TERM) interrupts only the parent, whose
+    :class:`repro.exec.SignalDrain` then drains in-flight jobs cleanly
+    — completed jobs already sit in the result store and journal,
+    making interrupted sweeps resumable.
+
+    ``"fleet"`` ignores only SIGINT: a standalone fleet worker has no
+    supervising parent on its host, so SIGTERM must reach the worker
+    loop's own two-stage handler (finish or abandon the leased job,
+    release the lease, then exit) instead of being swallowed — an
+    unconditional SIG_IGN here once made fleet workers unkillable
+    except by SIGKILL, which leaks leases until their TTL expires.
     """
     for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
                 "MKL_NUM_THREADS"):
         os.environ.setdefault(var, "1")
-    for sig in (signal.SIGINT, signal.SIGTERM):
+    signals = ((signal.SIGINT, signal.SIGTERM) if role == "pool"
+               else (signal.SIGINT,))
+    for sig in signals:
         try:
             signal.signal(sig, signal.SIG_IGN)
         except (ValueError, OSError):  # pragma: no cover - non-main

@@ -83,14 +83,20 @@ def result_to_dict(result: FlowResult,
 
 
 def write_json_atomic(payload, path: Union[str, Path],
-                      indent: Optional[int] = 2) -> None:
+                      indent: Optional[int] = 2,
+                      fsync: bool = False) -> None:
     """Write ``payload`` as JSON, atomically.
 
     Missing parent directories are created, and the payload lands in a
     temporary file that is :func:`os.replace`'d over ``path`` only once
     fully written — a crash mid-write can never leave a truncated
-    archive behind.  The experiment result cache
-    (:class:`repro.exec.ResultStore`) relies on this guarantee.
+    archive behind, and concurrent writers racing on the same path
+    resolve to last-write-wins with each version complete (the rename
+    is the commit point; readers only ever see a whole file).  The
+    experiment result cache (:class:`repro.exec.ResultStore`) relies on
+    both guarantees.  ``fsync=True`` additionally flushes the data to
+    disk before the rename, so a machine crash immediately after the
+    call cannot surface an empty file under ``path``.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -99,6 +105,9 @@ def write_json_atomic(payload, path: Union[str, Path],
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, indent=indent)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:

@@ -1,0 +1,338 @@
+"""Fleet fabric: leases, heartbeats, reclamation, worker lifecycle.
+
+In-process :class:`FleetWorker` threads cover the queue/lease protocol
+(deterministic, fast); a handful of subprocess tests cover the real
+``python -m repro fleet worker`` entry point, SIGTERM handling and
+driver-spawned local workers.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    FleetBackend,
+    FleetWorker,
+    ParallelRunner,
+    ProbeJob,
+    RunnerStats,
+    WorkerLostError,
+    is_failure,
+    job_to_wire,
+    payload_checksum,
+    spawn_local_workers,
+)
+from repro.exec.fleet import (
+    LEASE_DIR,
+    QUEUE_DIR,
+    RESULT_DIR,
+    STOP_FILE,
+    lease_expired,
+    release_lease,
+    try_claim,
+)
+from repro.exec.store import ENVELOPE_KEY, SCHEMA_VERSION
+
+
+def probe(i, **extra):
+    return ProbeJob(params={"id": i, "value": i * 10, **extra})
+
+
+def enqueue(root, job):
+    """What FleetBackend.submit writes, without a backend."""
+    wire = job_to_wire(job)
+    path = root / QUEUE_DIR / f"{wire['fingerprint']}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(wire))
+    return wire["fingerprint"]
+
+
+def worker_thread(root, max_jobs, **kw):
+    worker = FleetWorker(root, worker_id=f"t-{max_jobs}",
+                         ttl_s=kw.pop("ttl_s", 1.0),
+                         poll_s=kw.pop("poll_s", 0.02),
+                         max_jobs=max_jobs,
+                         log=open(os.devnull, "w"), **kw)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+# ---------------------------------------------------------------------
+# Lease protocol units.
+
+def test_claim_is_exclusive(tmp_path):
+    assert try_claim(tmp_path, "ab" * 16, "w1", ttl_s=60)
+    assert not try_claim(tmp_path, "ab" * 16, "w2", ttl_s=60)
+
+
+def test_expired_lease_can_be_taken_over(tmp_path):
+    fp = "cd" * 16
+    assert try_claim(tmp_path, fp, "w1", ttl_s=0.05)
+    time.sleep(0.2)
+    assert try_claim(tmp_path, fp, "w2", ttl_s=60)
+    lease = json.loads(
+        (tmp_path / LEASE_DIR / f"{fp}.json").read_text())
+    assert lease["worker"] == "w2"
+
+
+def test_force_claim_races_a_live_lease(tmp_path):
+    fp = "ef" * 16
+    assert try_claim(tmp_path, fp, "w1", ttl_s=60)
+    assert not try_claim(tmp_path, fp, "w2", ttl_s=60)
+    assert try_claim(tmp_path, fp, "w2", ttl_s=60, force=True)
+
+
+def test_release_lease_tolerates_absence(tmp_path):
+    release_lease(tmp_path, "00" * 16)  # no lease: no error
+
+
+def test_lease_expired_semantics():
+    now = time.time()
+    assert lease_expired(None)
+    assert lease_expired({"renewed": now - 10, "ttl_s": 1}, now)
+    assert not lease_expired({"renewed": now, "ttl_s": 1}, now)
+    assert lease_expired({"renewed": "junk", "ttl_s": 1}, now)
+
+
+# ---------------------------------------------------------------------
+# Worker loop.
+
+def test_worker_executes_queue_and_releases_lease(tmp_path):
+    fp = enqueue(tmp_path, probe(1))
+    worker = FleetWorker(tmp_path, worker_id="w", ttl_s=1.0,
+                         poll_s=0.02, max_jobs=1,
+                         log=open(os.devnull, "w"))
+    assert worker.run() == 0
+    assert worker.executed == 1
+    entry = json.loads(
+        (tmp_path / RESULT_DIR / f"{fp}.json").read_text())
+    assert entry[ENVELOPE_KEY] == SCHEMA_VERSION
+    assert entry["payload"] == {"probe": 1, "value": 10}
+    assert entry["sha256"] == payload_checksum(entry["payload"])
+    assert not (tmp_path / LEASE_DIR / f"{fp}.json").exists()
+
+
+def test_worker_writes_failure_file_for_job_errors(tmp_path):
+    fp = enqueue(tmp_path, probe(2, fail=True))
+    worker = FleetWorker(tmp_path, worker_id="w", poll_s=0.02,
+                         max_jobs=1, log=open(os.devnull, "w"))
+    assert worker.run() == 0
+    entry = json.loads(
+        (tmp_path / RESULT_DIR / f"{fp}.json").read_text())
+    assert entry["kind"] == "failure"
+    assert entry["failure"]["exc_type"] == "RuntimeError"
+    assert "asked to fail" in entry["failure"]["message"]
+
+
+def test_worker_exits_on_stop_sentinel(tmp_path):
+    enqueue(tmp_path, probe(3))
+    (tmp_path / STOP_FILE).touch()
+    worker = FleetWorker(tmp_path, worker_id="w", poll_s=0.02,
+                         log=open(os.devnull, "w"))
+    assert worker.run() == 0
+    assert worker.executed == 0  # sentinel precedes claiming
+
+
+def test_worker_skips_live_leases(tmp_path):
+    fp = enqueue(tmp_path, probe(4))
+    assert try_claim(tmp_path, fp, "other", ttl_s=60)
+    worker = FleetWorker(tmp_path, worker_id="w", poll_s=0.02,
+                         log=open(os.devnull, "w"))
+    assert list(worker._claimable()) == []
+
+
+# ---------------------------------------------------------------------
+# Driver backend.
+
+def test_fleet_backend_completes_probe_sweep(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=2.0, poll_s=0.02)
+    runner = ParallelRunner(jobs=2, backend=backend)
+    _, thread = worker_thread(tmp_path, max_jobs=3)
+    payloads = runner.run([probe(i) for i in range(3)])
+    thread.join(timeout=10)
+    assert payloads == [{"probe": i, "value": i * 10}
+                        for i in range(3)]
+    assert runner.stats.executed == 3
+    # Collection cleans the shared directory behind itself.
+    assert list((tmp_path / QUEUE_DIR).glob("*.json")) == []
+    assert list((tmp_path / RESULT_DIR).glob("*.json")) == []
+
+
+def test_expired_lease_is_reclaimed_and_job_retried(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=1.0, poll_s=0.02)
+    runner = ParallelRunner(jobs=2, backend=backend, retries=2)
+    job = probe(5)
+    fp = job.fingerprint()
+
+    def die_then_serve():
+        # A "worker" claims and dies (never renews, never writes);
+        # after the TTL the driver must reclaim and a healthy worker
+        # completes the retry.
+        assert try_claim(tmp_path, fp, "dead-worker", ttl_s=1.0)
+        time.sleep(1.4)
+        FleetWorker(tmp_path, worker_id="healthy", ttl_s=1.0,
+                    poll_s=0.02, max_jobs=1,
+                    log=open(os.devnull, "w")).run()
+
+    thread = threading.Thread(target=die_then_serve, daemon=True)
+    thread.start()
+    payloads = runner.run([job])
+    thread.join(timeout=10)
+    assert payloads == [{"probe": 5, "value": 50}]
+    assert runner.stats.lease_reclaims >= 1
+    assert runner.stats.retries >= 1
+    assert "leases reclaimed" in runner.stats.format()
+
+
+def test_remote_job_error_is_a_structured_failure(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=2.0, poll_s=0.02)
+    runner = ParallelRunner(jobs=2, backend=backend, retries=1)
+    _, thread = worker_thread(tmp_path, max_jobs=2)
+    payloads = runner.run([probe(6), probe(7, fail=True)])
+    thread.join(timeout=10)
+    assert payloads[0] == {"probe": 6, "value": 60}
+    assert is_failure(payloads[1])
+    assert payloads[1].kind == "job-error"
+    assert "RuntimeError" in payloads[1].message
+
+
+def test_corrupt_result_is_quarantined_and_retried(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=2.0, poll_s=0.02)
+    job = probe(8)
+    handle = backend.submit(job)
+    # A torn write lands in results/: half an envelope.
+    good = {ENVELOPE_KEY: SCHEMA_VERSION, "sha256": "x",
+            "payload": {}}
+    (tmp_path / RESULT_DIR / f"{handle.fingerprint}.json").write_text(
+        json.dumps(good)[:20])
+    done = backend.wait({handle}, timeout=5)
+    assert handle in done
+    with pytest.raises(WorkerLostError, match="corrupt in transit"):
+        backend.result(handle)
+    assert backend.corrupt_results == 1
+    assert (tmp_path / "quarantine"
+            / f"{handle.fingerprint}.json").exists()
+    # The queue entry survives, so the retry re-executes normally.
+    assert (tmp_path / QUEUE_DIR
+            / f"{handle.fingerprint}.json").exists()
+
+
+def test_checksum_mismatch_is_rejected(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=2.0, poll_s=0.02)
+    handle = backend.submit(probe(9))
+    bad = {ENVELOPE_KEY: SCHEMA_VERSION, "sha256": "0" * 64,
+           "payload": {"probe": 9, "value": 1234}}
+    (tmp_path / RESULT_DIR / f"{handle.fingerprint}.json").write_text(
+        json.dumps(bad))
+    with pytest.raises(WorkerLostError):
+        backend.result(handle)
+
+
+def test_dead_fleet_restart_collects_existing_results(tmp_path):
+    # A SIGKILLed fleet leaves a completed-but-uncollected result and
+    # an expired lease behind; a fresh driver must harvest the result
+    # without re-executing and clear the stale lease.
+    job = probe(10)
+    fp = job.fingerprint()
+    payload = {"probe": 10, "value": 100}
+    entry = {ENVELOPE_KEY: SCHEMA_VERSION,
+             "sha256": payload_checksum(payload), "payload": payload}
+    (tmp_path / RESULT_DIR).mkdir(parents=True)
+    (tmp_path / RESULT_DIR / f"{fp}.json").write_text(
+        json.dumps(entry))
+    (tmp_path / LEASE_DIR).mkdir(parents=True)
+    (tmp_path / LEASE_DIR / f"{fp}.json").write_text(json.dumps(
+        {"worker": "gone", "renewed": time.time() - 999,
+         "ttl_s": 1.0}))
+    (tmp_path / STOP_FILE).touch()  # dead driver's sentinel
+
+    backend = FleetBackend(tmp_path, ttl_s=1.0, poll_s=0.02)
+    assert not (tmp_path / STOP_FILE).exists()  # cleared for workers
+    handle = backend.submit(job)
+    assert not (tmp_path / LEASE_DIR / f"{fp}.json").exists()
+    assert handle in backend.wait({handle}, timeout=5)
+    assert backend.result(handle) == payload
+
+
+def test_submit_discards_invalid_leftover_results(tmp_path):
+    job = probe(11)
+    fp = job.fingerprint()
+    (tmp_path / RESULT_DIR).mkdir(parents=True)
+    (tmp_path / RESULT_DIR / f"{fp}.json").write_text("{garbage")
+    backend = FleetBackend(tmp_path, ttl_s=1.0, poll_s=0.02)
+    backend.submit(job)
+    assert not (tmp_path / RESULT_DIR / f"{fp}.json").exists()
+
+
+def test_exec_elapsed_is_claim_relative(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=60.0, poll_s=0.02)
+    handle = backend.submit(probe(12))
+    # Unclaimed: queue wait must not run the deadline clock.
+    assert backend.exec_elapsed(handle, 100.0) == 0.0
+    assert try_claim(tmp_path, handle.fingerprint, "w", ttl_s=60)
+    elapsed = backend.exec_elapsed(handle, 100.0)
+    assert 0.0 <= elapsed < 5.0
+
+
+def test_cancel_only_unclaimed_jobs(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=60.0, poll_s=0.02)
+    unclaimed = backend.submit(probe(13))
+    claimed = backend.submit(probe(14))
+    assert try_claim(tmp_path, claimed.fingerprint, "w", ttl_s=60)
+    assert backend.cancel(unclaimed)
+    assert not (tmp_path / QUEUE_DIR
+                / f"{unclaimed.fingerprint}.json").exists()
+    assert not backend.cancel(claimed)
+
+
+def test_runner_stats_format_mentions_fleet_counters_only_when_used():
+    quiet = RunnerStats(total=1)
+    assert "reclaimed" not in quiet.format()
+    loud = RunnerStats(total=1, lease_reclaims=2, worker_restarts=1)
+    assert "2 leases reclaimed" in loud.format()
+    assert "1 workers respawned" in loud.format()
+
+
+# ---------------------------------------------------------------------
+# Real subprocess workers (the `repro fleet worker` entry point).
+
+def test_spawned_local_workers_complete_a_sweep(tmp_path):
+    backend = FleetBackend(tmp_path, ttl_s=5.0, poll_s=0.05,
+                           local_workers=2)
+    runner = ParallelRunner(jobs=2, backend=backend)
+    payloads = runner.run([probe(i) for i in range(4)])
+    assert payloads == [{"probe": i, "value": i * 10}
+                        for i in range(4)]
+    # The runner's teardown stopped the workers via the sentinel.
+    assert (tmp_path / STOP_FILE).exists()
+    for proc in backend._procs:
+        assert proc.wait(timeout=20) == 0
+
+
+def test_sigterm_finishes_job_and_releases_lease(tmp_path):
+    fp = enqueue(tmp_path, probe("slow", sleep_s=2.0))
+    procs = spawn_local_workers(tmp_path, 1, ttl_s=5.0, poll_s=0.05)
+    proc = procs[0]
+    try:
+        deadline = time.monotonic() + 30
+        lease = tmp_path / LEASE_DIR / f"{fp}.json"
+        while not lease.exists():
+            assert time.monotonic() < deadline, "job never claimed"
+            assert proc.poll() is None, "worker died early"
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        # First SIGTERM: the in-flight job completes, then exit 0.
+        assert proc.wait(timeout=30) == 0
+        entry = json.loads(
+            (tmp_path / RESULT_DIR / f"{fp}.json").read_text())
+        assert entry["payload"]["probe"] == "slow"
+        assert not lease.exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

@@ -212,3 +212,52 @@ def test_write_json_atomic_failure_keeps_old_content(tmp_path):
     # old archive untouched, no temp files left behind
     assert json.loads(path.read_text()) == {"good": True}
     assert os.listdir(tmp_path) == ["out.json"]
+
+
+# ---------------------------------------------------------------------
+def _hammer_store(root, fp, value, barrier):
+    """Child-process body for the concurrent-writer stress test."""
+    from repro.exec import ResultStore
+    barrier.wait()  # maximize overlap
+    store = ResultStore(root)
+    for _ in range(25):
+        store.put(fp, {"value": value})
+
+
+def test_concurrent_writers_same_fingerprint_never_corrupt(tmp_path):
+    # Two sweeps sharing a cache (or a fleet's duplicate completion)
+    # can race put() on one fingerprint.  Hammer the same entry from
+    # many processes and assert every interleaving resolves to one
+    # complete, valid envelope — last-write-wins, never a quarantined
+    # half-entry.
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    n = 4
+    barrier = ctx.Barrier(n)
+    procs = [ctx.Process(target=_hammer_store,
+                         args=(str(tmp_path), FP, i, barrier))
+             for i in range(n)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    store = ResultStore(tmp_path)
+    payload = store.get(FP)
+    assert payload in [{"value": i} for i in range(n)]
+    assert store.quarantine_events == 0
+    assert not store.quarantine_root.exists()
+    # No temp debris: every loser's file was cleaned up by replace.
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+def test_put_fsyncs_through_write_json_atomic(tmp_path, monkeypatch):
+    # put() asks for durability; the fsync must actually reach the OS.
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (synced.append(fd),
+                                    real_fsync(fd))[1])
+    ResultStore(tmp_path).put(FP, {"x": 1})
+    assert synced
