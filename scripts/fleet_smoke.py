@@ -13,7 +13,12 @@ end to end:
   130, its journal ends ``interrupted``, and every persisted cache
   entry passes ``repro cache verify``;
 * ``--resume`` on the same fleet+cache finishes only the unfinished
-  jobs and saves entries byte-identical to the chaos run's.
+  jobs and saves entries byte-identical to the chaos run's;
+* a fourth fleet run arms the ``kill_mid_job`` fault with
+  ``--checkpoint-dir``: every worker SIGKILLs itself *mid-simulation*
+  right after writing a snapshot, the reclaimed retry restores that
+  snapshot, and the final entries are still byte-identical to the
+  pool baseline.
 
 CI runs this (CI-sized) on every push; run it locally with no
 arguments, or ``--duration`` to scale it up.
@@ -36,12 +41,12 @@ CHAOS = ("--chaos-seed", "3", "--chaos-kill", "1")
 
 
 def fleet_cmd(fleet_dir: str, cache_dir: str, args,
-              extra=()) -> list:
+              extra=(), chaos=CHAOS) -> list:
     return [sys.executable, "-m", "repro", "fleet", "sweep",
             "--dir", fleet_dir, "--workers", "2", "--ttl", "3",
             *SWEEP, "--duration", str(args.duration),
             "--retries", "3", "--cache-dir", cache_dir,
-            *CHAOS, *extra]
+            *chaos, *extra]
 
 
 def env() -> dict:
@@ -160,6 +165,41 @@ def main(argv=None) -> None:
                  "uninterrupted pool run")
         print(f"resume ok: {executed} executed, {cached} cached, "
               f"byte-identical output", flush=True)
+
+        # --- mid-job SIGKILL -> checkpoint restore -------------------
+        fleet_c = Path(work / "fleet-c")
+        ck_dir = work / "checkpoints"
+        midkill = subprocess.run(
+            fleet_cmd(str(fleet_c), str(work / "cache-c"), args,
+                      chaos=("--chaos-seed", "5",
+                             "--chaos-kill-mid", "1"),
+                      extra=("--checkpoint-dir", str(ck_dir),
+                             "--checkpoint-every", "200",
+                             "--save", str(work / "midkill.json"))),
+            env=env(), cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=args.timeout)
+        if midkill.returncode != 0:
+            fail(f"mid-job-kill fleet sweep exited "
+                 f"{midkill.returncode}\n{midkill.stderr}")
+        fired = list((fleet_c / "chaos-events").glob("kill_mid_job.*"))
+        if not fired:
+            fail("kill_mid_job fault never fired")
+        worker_logs = "".join(
+            p.read_text() for p in (fleet_c / "workers").glob("*.log"))
+        if "chaos: SIGKILL at subframe" not in worker_logs:
+            fail("no worker logged the mid-simulation SIGKILL")
+        if "leases reclaimed" not in midkill.stderr:
+            fail(f"mid-job kills reclaimed no leases\n{midkill.stderr}")
+        snapshots = list(ck_dir.glob("*/ckpt-*.snap"))
+        if not snapshots:
+            fail("no mid-run snapshots were persisted")
+        if ((work / "midkill.json").read_bytes()
+                != (work / "pool.json").read_bytes()):
+            fail("checkpoint-restored sweep differs from the "
+                 "uninterrupted pool baseline")
+        print(f"checkpoint ok: {len(fired)} mid-simulation SIGKILLs, "
+              f"{len(snapshots)} snapshots, restored entries "
+              f"byte-identical to pool run", flush=True)
 
     print("fleet smoke PASSED", flush=True)
 

@@ -80,6 +80,13 @@ class Sender(Receiver):
     #: Pacing poll interval while the controller reports a zero rate.
     _IDLE_POLL_US = 1_000
 
+    #: Checkpointing: wiring restored from the rebuilt experiment.  The
+    #: congestion controller is *not* skipped — its state is restored
+    #: in place through the generic codec.  ``_pace_event``/
+    #: ``_rto_event`` are live heap references, encoded as sequence
+    #: numbers by the checkpoint layer.
+    SNAPSHOT_SKIP = ("sim", "egress", "on_ack_hook")
+
     def __init__(self, sim: Simulator, flow_id: int, cc: CongestionControl,
                  egress: Receiver, mss_bits: int = MSS_BITS,
                  app_rate_bps: Optional[float] = None) -> None:
@@ -309,6 +316,8 @@ class Sender(Receiver):
 
 class AckingReceiver(Receiver):
     """Client-side endpoint: log deliveries and ACK every packet."""
+
+    SNAPSHOT_SKIP = ("sim", "uplink")
 
     def __init__(self, sim: Simulator, flow_id: int, uplink: Receiver)\
             -> None:

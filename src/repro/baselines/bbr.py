@@ -44,6 +44,10 @@ class Bbr(CongestionControl):
 
     name = "bbr"
 
+    #: Checkpointing: the probe cap is a bound method of the embedding
+    #: PBE sender (or None); the rebuilt wiring supplies it.
+    SNAPSHOT_SKIP = ("probe_rate_cap",)
+
     def __init__(self, initial_rate_bps: float = 2.4e6,
                  mss_bits: int = MSS_BITS,
                  probe_rate_cap: Optional[Callable[[], Optional[float]]]

@@ -286,6 +286,13 @@ class _Ingress(Receiver):
 class CellularNetwork:
     """All cells of one operator around the measurement location."""
 
+    #: Checkpointing (see repro.statedict): wiring and config restored
+    #: from the rebuilt experiment, plus derived caches recomputed by
+    #: ``_after_restore`` (``_channel_users`` is keyed by ``id()``,
+    #: which cannot survive a process boundary).
+    SNAPSHOT_SKIP = ("sim", "perf", "carriers", "_prbs_by_cell",
+                     "_monitors", "_user_list", "_channel_users")
+
     def __init__(self, sim: Simulator, carriers: list[CarrierConfig],
                  ca_policy: Optional[CaPolicy] = None,
                  control_arrivals_per_subframe: "float | dict[int, float]"
@@ -531,6 +538,21 @@ class CellularNetwork:
         self._refresh_active_cells(user)
         # The new cell group starts its CA bookkeeping from scratch.
         self.ca._users.pop(rnti, None)
+
+    def _after_restore(self) -> None:
+        """Rebuild derived views after a checkpoint restore.
+
+        ``_channel_users`` is keyed by ``id(channel)`` and must be
+        regrouped around the restored channel objects; ``block_safe``
+        and the block caches themselves come straight from the
+        snapshot, so no demotion logic reruns here.  ``_user_list`` is
+        a lazy cache the tick loop rebuilds on demand.
+        """
+        self._user_list = None
+        self._channel_users = {}
+        for user in self._users.values():
+            self._channel_users.setdefault(
+                id(user.channel), []).append(user)
 
     def ingress(self, rnti: int) -> Receiver:
         """Wired-side entry point delivering into one user's queue.

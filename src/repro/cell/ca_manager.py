@@ -68,6 +68,9 @@ class _UserCaState:
 class CarrierAggregationManager:
     """Per-user secondary-cell activation state machine."""
 
+    #: Checkpointing: the policy is config, kept from the rebuild.
+    SNAPSHOT_SKIP = ("policy",)
+
     def __init__(self, policy: CaPolicy | None = None) -> None:
         self.policy = policy or CaPolicy()
         self._users: dict[int, _UserCaState] = {}

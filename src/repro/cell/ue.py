@@ -23,6 +23,9 @@ CORRUPT_KEY = "harq_corrupt"
 class UserEquipment:
     """Receiver-side state for one mobile user."""
 
+    #: Checkpointing: wiring restored from the rebuilt experiment.
+    SNAPSHOT_SKIP = ("sim", "on_packet")
+
     def __init__(self, sim: Simulator, rnti: int,
                  on_packet: Optional[Callable[[Packet], None]] = None)\
             -> None:

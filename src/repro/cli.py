@@ -139,9 +139,12 @@ def _supervised_runner(args: argparse.Namespace, backend=None):
     budget = (args.failure_budget / 100.0
               if args.failure_budget is not None else None)
     kwargs = _exec_kwargs(args)
-    return make_runner(retries=args.retries, timeout_s=args.timeout,
-                       strict=args.strict, failure_budget=budget,
-                       backend=backend, **kwargs)
+    return make_runner(
+        retries=args.retries, timeout_s=args.timeout,
+        strict=args.strict, failure_budget=budget, backend=backend,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        **kwargs)
 
 
 def _chaos_spec(args: argparse.Namespace, ttl_s: float):
@@ -150,6 +153,7 @@ def _chaos_spec(args: argparse.Namespace, ttl_s: float):
     stall_s = (args.chaos_stall_s if args.chaos_stall_s is not None
                else 2.5 * ttl_s)  # long enough to trip lease reclaim
     spec = ChaosSpec(seed=args.chaos_seed, kill_prob=args.chaos_kill,
+                     kill_mid_job_prob=args.chaos_kill_mid,
                      stall_prob=args.chaos_stall, stall_s=stall_s,
                      claim_delay_prob=args.chaos_delay,
                      claim_delay_s=args.chaos_delay_s,
@@ -321,6 +325,40 @@ def cmd_fleet_worker(args: argparse.Namespace) -> int:
     from .exec import run_worker
     return run_worker(args.dir, worker_id=args.id, ttl_s=args.ttl,
                       poll_s=args.poll, max_jobs=args.max_jobs)
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """``repro fleet status``: observe a fleet directory, read-only."""
+    from .exec import fleet_status
+    status = fleet_status(args.dir)
+    print(f"fleet {status['root']}: {status['queued']} queued, "
+          f"{len(status['leases'])} leases in flight, "
+          f"{status['results']} results")
+    if status["workers"]:
+        rows = []
+        for worker in status["workers"]:
+            rows.append([worker["worker"], worker["pid"],
+                         worker["executed"], worker["reclaimed"],
+                         round(worker["jobs_per_min"], 2),
+                         round(worker["stale_s"], 1)])
+        print(format_table(
+            ["worker", "pid", "executed", "reclaimed", "jobs/min",
+             "beacon age (s)"],
+            rows))
+    if status["leases"]:
+        rows = []
+        for lease in status["leases"]:
+            subframe = lease["checkpoint_subframe"]
+            age = lease["checkpoint_age_s"]
+            rows.append([
+                lease["label"], lease["worker"],
+                round(lease["held_s"], 1),
+                "-" if subframe is None else subframe,
+                "-" if age is None else round(age, 1)])
+        print(format_table(
+            ["job", "worker", "held (s)", "ckpt subframe",
+             "ckpt age (s)"], rows))
+    return 0
 
 
 def cmd_fleet_sweep(args: argparse.Namespace) -> int:
@@ -553,7 +591,20 @@ def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="replay the journal beside --cache-dir: "
                              "report finished work (loaded from cache) "
-                             "and re-attempt only failures")
+                             "and re-attempt only failures; with "
+                             "--checkpoint-dir, interrupted jobs "
+                             "restore their newest mid-run snapshot "
+                             "instead of starting over")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        metavar="DIR",
+                        help="write crash-consistent mid-run snapshots "
+                             "under DIR/<fingerprint>/ so killed or "
+                             "preempted jobs resume byte-identically "
+                             "from the last subframe boundary")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="snapshot cadence in simulated subframes "
+                             "(default 1000 = one simulated second)")
 
 
 def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
@@ -567,6 +618,12 @@ def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--chaos-kill", type=float, default=0.0,
                        metavar="P",
                        help="P(worker SIGKILLs itself mid-job)")
+    group.add_argument("--chaos-kill-mid", type=float, default=0.0,
+                       metavar="P",
+                       help="P(worker SIGKILLs itself mid-simulation "
+                            "at a deterministic subframe boundary; "
+                            "needs --checkpoint-dir so the retry "
+                            "resumes from the snapshot)")
     group.add_argument("--chaos-stall", type=float, default=0.0,
                        metavar="P",
                        help="P(worker stalls heartbeats mid-job)")
@@ -741,6 +798,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fw.add_argument("--max-jobs", type=int, default=None,
                       help="exit after executing this many jobs")
     p_fw.set_defaults(func=cmd_fleet_worker)
+
+    p_fstat = fleet_sub.add_parser(
+        "status", help="read-only snapshot of a fleet directory: "
+                       "queue depth, live leases (with each job's "
+                       "newest-checkpoint age), and per-worker "
+                       "throughput from the liveness beacons")
+    p_fstat.add_argument("--dir", required=True,
+                         help="the fleet's shared directory")
+    p_fstat.set_defaults(func=cmd_fleet_status)
 
     p_fs = fleet_sub.add_parser(
         "sweep", help="run the stationary sweep through a fleet at "

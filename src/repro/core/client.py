@@ -51,6 +51,10 @@ WIRELESS, INTERNET = "wireless", "internet"
 class PbeClient(AckingReceiver):
     """Mobile-side PBE-CC endpoint: delay tracking + capacity feedback."""
 
+    #: Checkpointing: the monitor is snapshotted once per flow by the
+    #: checkpoint layer (sim/uplink skips inherited from the base).
+    SNAPSHOT_SKIP = ("monitor",)
+
     def __init__(self, sim: Simulator, flow_id: int, uplink: Receiver,
                  monitor: PbeMonitor,
                  default_rtprop_us: int = 40_000,

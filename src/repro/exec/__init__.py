@@ -37,6 +37,7 @@ from .fleet import (
     FleetWorker,
     RemoteJobError,
     WorkerLostError,
+    fleet_status,
     run_worker,
     spawn_local_workers,
 )
@@ -74,7 +75,7 @@ __all__ = [
     "ProcessPoolBackend", "RemoteJobError", "ResultStore",
     "RunnerStats", "SignalDrain", "StderrReporter", "StoreStats",
     "SweepInterrupted", "SweepJournal", "WorkerLostError",
-    "canonical_json", "chaos_events", "execute_job",
+    "canonical_json", "chaos_events", "execute_job", "fleet_status",
     "initialize_worker", "is_failure", "job_from_wire", "job_to_wire",
     "make_runner", "payload_checksum", "register_job_kind",
     "run_worker", "scenario_to_dict", "spawn_local_workers",

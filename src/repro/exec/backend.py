@@ -253,8 +253,15 @@ def job_to_wire(job) -> dict:
             f"{type(job).__name__} has no registered wire kind; fleet "
             f"execution needs register_job_kind() so workers can "
             f"rebuild it from JSON")
-    return {"kind": kind, "fingerprint": job.fingerprint(),
+    wire = {"kind": kind, "fingerprint": job.fingerprint(),
             "label": job.label, "spec": job.to_dict()}
+    # The checkpoint config travels OUTSIDE "spec": it steers where a
+    # worker snapshots, never what the job computes, so it must not
+    # perturb the fingerprint or the cached payload.
+    checkpoint = getattr(job, "checkpoint", None)
+    if checkpoint is not None:
+        wire["checkpoint"] = checkpoint
+    return wire
 
 
 def job_from_wire(data: dict):
@@ -264,4 +271,8 @@ def job_from_wire(data: dict):
     if loader is None:
         raise ValueError(f"unknown wire job kind {kind!r}; known: "
                          f"{sorted(_JOB_KINDS)}")
-    return loader(data["spec"])
+    job = loader(data["spec"])
+    checkpoint = data.get("checkpoint")
+    if checkpoint is not None:
+        job.checkpoint = checkpoint
+    return job

@@ -153,10 +153,21 @@ def lease_expired(lease: Optional[dict], now: Optional[float] = None,
     return now - renewed > ttl
 
 
+#: ``try_claim`` outcomes.  ``CLAIM_TAKEOVER`` means an *expired*
+#: lease was replaced — the previous worker stopped heartbeating and
+#: this claim is a reclamation, which workers count and surface
+#: through their liveness beacon so the driver's ``lease_reclaims``
+#: telemetry stays accurate even when a sibling worker wins the
+#: takeover race before the driver's poll notices the expiry.
+CLAIM_FAILED = 0
+CLAIM_FRESH = 1
+CLAIM_TAKEOVER = 2
+
+
 def try_claim(root: Union[str, Path], fingerprint: str, worker_id: str,
               ttl_s: float = DEFAULT_TTL_S,
-              force: bool = False) -> bool:
-    """Atomically claim one job's lease.
+              force: bool = False) -> int:
+    """Atomically claim one job's lease; returns a ``CLAIM_*`` code.
 
     The fast path is an ``O_EXCL`` create — exactly one of N racing
     workers wins.  An existing lease may be taken over only when it is
@@ -165,6 +176,11 @@ def try_claim(root: Union[str, Path], fingerprint: str, worker_id: str,
     atomic replace; if two workers take over the same expired lease in
     the same instant both will run the job, which the fabric tolerates
     by design (deterministic jobs, last-write-wins results).
+
+    The return value is truthy on success: ``CLAIM_FRESH`` for an
+    uncontested claim (or a forced duplicate of a live lease) and
+    ``CLAIM_TAKEOVER`` when an expired lease was replaced;
+    ``CLAIM_FAILED`` otherwise.
     """
     path = Path(root) / LEASE_DIR / f"{fingerprint}.json"
     now = time.time()
@@ -175,15 +191,17 @@ def try_claim(root: Union[str, Path], fingerprint: str, worker_id: str,
     try:
         fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
-        if not force and not lease_expired(_read_json(path), now):
-            return False
+        stale = _read_json(path)
+        expired = lease_expired(stale, now)
+        if not force and not expired:
+            return CLAIM_FAILED
         try:
             _write_bytes_atomic(path, encoded)
         except OSError:
-            return False
-        return True
+            return CLAIM_FAILED
+        return CLAIM_TAKEOVER if expired else CLAIM_FRESH
     except OSError:
-        return False
+        return CLAIM_FAILED
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(encoded)
@@ -191,8 +209,8 @@ def try_claim(root: Union[str, Path], fingerprint: str, worker_id: str,
             os.fsync(handle.fileno())
     except OSError:
         _unlink_quiet(path)
-        return False
-    return True
+        return CLAIM_FAILED
+    return CLAIM_FRESH
 
 
 def release_lease(root: Union[str, Path], fingerprint: str) -> None:
@@ -279,6 +297,8 @@ class FleetWorker:
                       else ChaosSpec.load(self.root / CHAOS_FILE))
         self.log = log if log is not None else sys.stderr
         self.executed = 0
+        self.reclaimed = 0
+        self.started = time.time()
         self.stop_requested = False
         self._beacon_at = 0.0
 
@@ -287,6 +307,15 @@ class FleetWorker:
         if self.stop_requested:
             raise _TermSignal
         self.stop_requested = True
+        # Checkpoint-enabled jobs drain at the next snapshot boundary
+        # instead of running minutes more: one final snapshot, then
+        # CheckpointDrain abandons the job (lease released, no result)
+        # so whoever picks it up resumes from that snapshot.
+        try:
+            from ..harness.checkpoint import request_drain
+            request_drain()
+        except ImportError:  # pragma: no cover - partial install
+            pass
 
     def install_signals(self) -> None:
         initialize_worker(role="fleet")
@@ -302,7 +331,9 @@ class FleetWorker:
             return
         self._beacon_at = now
         record = {"worker": self.worker_id, "pid": os.getpid(),
-                  "renewed": now}
+                  "renewed": now, "started": self.started,
+                  "executed": self.executed,
+                  "reclaimed": self.reclaimed}
         try:
             _write_bytes_atomic(
                 self.root / WORKERS_DIR / f"{self.worker_id}.json",
@@ -363,6 +394,30 @@ class FleetWorker:
             self.root / RESULT_DIR / f"{fingerprint}.json",
             json.dumps(entry, separators=(",", ":")).encode())
 
+    def _maybe_kill_mid_job(self, job, fingerprint: str) -> None:
+        """Arm the chaos mid-simulation SIGKILL on a checkpointed job.
+
+        The kill subframe is deterministic (seed + fingerprint) and
+        lands strictly inside the run, so the job dies right after
+        writing a snapshot at that boundary; ``fire``'s once-per-job
+        marker guarantees the reclaim-retry runs unarmed and resumes
+        from the snapshot.
+        """
+        chaos = self.chaos
+        config = getattr(job, "checkpoint", None)
+        scenario = getattr(job, "scenario", None)
+        if chaos is None or config is None or scenario is None:
+            return
+        duration_subframes = int(scenario.duration_s * 1000)
+        if duration_subframes < 2:
+            return
+        if not chaos.fire(self.root, "kill_mid_job", fingerprint):
+            return
+        kill_at = chaos.kill_subframe(fingerprint, duration_subframes)
+        job.checkpoint = dict(config, kill_at_subframe=kill_at)
+        self._say(f"chaos: SIGKILL at subframe {kill_at} of "
+                  f"{fingerprint[:12]}")
+
     def _execute_claimed(self, fingerprint: str,
                          entry_path: Path) -> None:
         entry = _read_json(entry_path)
@@ -389,11 +444,19 @@ class FleetWorker:
                           f"{fingerprint[:12]} by "
                           f"{chaos.claim_delay_s}s")
                 self._sleep_interruptible(chaos.claim_delay_s)
+            from ..harness.checkpoint import CheckpointDrain
             try:
                 job = job_from_wire(entry)
+                self._maybe_kill_mid_job(job, fingerprint)
                 payload = execute_job(job)
             except _TermSignal:
                 raise
+            except CheckpointDrain:
+                # Not a failure: the simulation parked itself in a
+                # snapshot.  Write no result so the job stays queued;
+                # the lease release below hands it to the next worker.
+                self._say(f"drained {entry.get('label', '?')} at a "
+                          f"snapshot boundary")
             except Exception as exc:
                 self._write_failure(fingerprint, exc)
                 self.executed += 1  # failed jobs count toward max_jobs
@@ -426,9 +489,20 @@ class FleetWorker:
                 for fp, entry_path, force in self._claimable():
                     if self.stop_requested:
                         break
-                    if not try_claim(self.root, fp, self.worker_id,
-                                     ttl_s=self.ttl_s, force=force):
+                    outcome = try_claim(self.root, fp, self.worker_id,
+                                        ttl_s=self.ttl_s, force=force)
+                    if not outcome:
                         continue
+                    if outcome == CLAIM_TAKEOVER:
+                        # A dead peer's expired lease: count it and
+                        # beacon immediately so the driver's
+                        # lease_reclaims telemetry sees takeovers it
+                        # lost the reclaim race on.
+                        self.reclaimed += 1
+                        self._beacon_at = 0.0
+                        self._beacon()
+                        self._say(f"took over expired lease on "
+                                  f"{fp[:12]}")
                     claimed = True
                     self._execute_claimed(fp, entry_path)
                     break  # rescan: fresh view of queue and leases
@@ -482,6 +556,82 @@ def spawn_local_workers(root: Union[str, Path], count: int,
     return procs
 
 
+def fleet_status(root: Union[str, Path],
+                 now: Optional[float] = None) -> dict:
+    """One snapshot of a fleet directory's operational state.
+
+    Pure observation (no lease mutations, no reclaims): queue depth,
+    live leases with the age of each job's newest mid-run snapshot,
+    and per-worker throughput from the liveness beacons.  Backs
+    ``python -m repro fleet status`` and is safe to call while a sweep
+    is running — every read tolerates torn writes the same way the
+    workers do.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    results = {path.stem
+               for path in (root / RESULT_DIR).glob("*.json")
+               } if (root / RESULT_DIR).is_dir() else set()
+    queue_dir = root / QUEUE_DIR
+    queued = sorted(path.stem for path in queue_dir.glob("*.json")
+                    ) if queue_dir.is_dir() else []
+
+    leases = []
+    lease_dir = root / LEASE_DIR
+    for path in sorted(lease_dir.glob("*.json")
+                       ) if lease_dir.is_dir() else []:
+        lease = _read_json(path)
+        if lease is None or lease_expired(lease, now):
+            continue
+        fingerprint = path.stem
+        entry = _read_json(queue_dir / f"{fingerprint}.json") or {}
+        row = {"fingerprint": fingerprint,
+               "label": entry.get("label", fingerprint[:12]),
+               "worker": lease.get("worker", "?"),
+               "held_s": max(0.0, now - lease.get("acquired", now)),
+               "checkpoint_subframe": None,
+               "checkpoint_age_s": None}
+        config = entry.get("checkpoint")
+        if isinstance(config, dict) and config.get("dir"):
+            snapshots = sorted(Path(config["dir"]).glob("ckpt-*.snap"))
+            if snapshots:
+                newest = snapshots[-1]
+                try:
+                    row["checkpoint_age_s"] = max(
+                        0.0, now - newest.stat().st_mtime)
+                    row["checkpoint_subframe"] = int(
+                        newest.stem.split("-", 1)[1])
+                except (OSError, ValueError):
+                    pass
+        leases.append(row)
+
+    workers = []
+    workers_dir = root / WORKERS_DIR
+    for path in sorted(workers_dir.glob("*.json")
+                       ) if workers_dir.is_dir() else []:
+        record = _read_json(path)
+        if record is None:
+            continue
+        renewed = record.get("renewed", 0.0)
+        started = record.get("started", renewed)
+        executed = int(record.get("executed", 0))
+        uptime = max(0.0, now - started) if started else 0.0
+        workers.append({
+            "worker": record.get("worker", path.stem),
+            "pid": record.get("pid"),
+            "executed": executed,
+            "reclaimed": int(record.get("reclaimed", 0)),
+            "stale_s": max(0.0, now - renewed),
+            "uptime_s": uptime,
+            "jobs_per_min": (60.0 * executed / uptime
+                             if uptime > 0 else 0.0)})
+
+    outstanding = [fp for fp in queued if fp not in results]
+    return {"root": str(root), "queued": len(outstanding),
+            "results": len(results), "leases": leases,
+            "workers": workers}
+
+
 # ---------------------------------------------------------------------
 # Driver side.
 
@@ -530,7 +680,7 @@ class FleetBackend(ExecBackend):
         self.telemetry = telemetry
         self.respawn = respawn
         self.max_restarts = max_restarts
-        self.lease_reclaims = 0
+        self._driver_reclaims = 0
         self.worker_restarts = 0
         self.corrupt_results = 0
         self.collected = 0
@@ -539,6 +689,10 @@ class FleetBackend(ExecBackend):
         self._shutdown = False
         for sub in (QUEUE_DIR, LEASE_DIR, RESULT_DIR, WORKERS_DIR):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
+        # Beacons persist across sweeps of the same directory:
+        # baseline the takeover counts now so a previous run's
+        # reclaims don't inflate this one's telemetry.
+        self._beacon_reclaim_base = self._beacon_reclaims()
         # A fresh driver owns the directory: clear a previous run's
         # stop sentinel so workers (re)joining don't exit on sight.
         _unlink_quiet(self.root / STOP_FILE)
@@ -600,7 +754,7 @@ class FleetBackend(ExecBackend):
                     # retry machinery for pool crashes and fleet
                     # losses alike.
                     _unlink_quiet(self._lease_path(handle.fingerprint))
-                    self.lease_reclaims += 1
+                    self._driver_reclaims += 1
                     handle.error = WorkerLostError(
                         f"lease on {handle.label} expired (worker "
                         f"{lease.get('worker', '?')} stopped "
@@ -745,6 +899,39 @@ class FleetBackend(ExecBackend):
                 self.root, 1, ttl_s=self.ttl_s,
                 prefix=f"respawn{self.worker_restarts}")
             self._procs[i] = replacement[0]
+
+    @property
+    def lease_reclaims(self) -> int:
+        """Expired leases reclaimed, by whoever got there first.
+
+        The driver reclaims a lease only when *its* poll notices the
+        expired heartbeat; a sibling worker often takes the lease over
+        first, which the driver would otherwise never see.  Workers
+        count those takeovers (:data:`CLAIM_TAKEOVER`) and publish
+        them through their liveness beacons; both sources are summed
+        here.  The paths are mutually exclusive in the common case —
+        whichever side replaces/unlinks the lease first wins — so the
+        sum counts each leaked lease once.
+        """
+        return self._driver_reclaims + max(
+            0, self._beacon_reclaims() - self._beacon_reclaim_base)
+
+    def _beacon_reclaims(self) -> int:
+        beacons = self.root / WORKERS_DIR
+        if not beacons.is_dir():
+            return 0
+        total = 0
+        for path in beacons.glob("*.json"):
+            record = _read_json(path)
+            if record is not None:
+                try:
+                    total += int(record.get("reclaimed", 0))
+                except (TypeError, ValueError):
+                    pass
+            # Dead workers' beacons keep their final counts, so the
+            # sum survives chaos kills and respawns (respawned
+            # workers get fresh ids, hence fresh beacon files).
+        return total
 
     def live_workers(self) -> int:
         """Workers with a fresh liveness beacon (local or remote)."""

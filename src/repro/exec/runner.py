@@ -96,10 +96,16 @@ class RunnerStats:
     failed: int = 0
     #: Cache entries quarantined as invalid during this run.
     quarantined: int = 0
+    #: Corrupt/unreadable mid-run snapshots quarantined under the
+    #: checkpoint root (each one is a restore that fell back to an
+    #: older snapshot or to from-scratch execution).
+    checkpoints_quarantined: int = 0
     #: Total seconds slept in retry backoff.
     backoff_s: float = 0.0
     #: Fleet backend only: expired leases reclaimed (each one is a job
-    #: re-queued after its worker stopped heartbeating).
+    #: re-queued after its worker stopped heartbeating), whether the
+    #: driver's poll reclaimed the lease or a sibling worker took it
+    #: over first (workers report takeovers via their beacons).
     lease_reclaims: int = 0
     #: Fleet backend only: dead local workers respawned by the driver.
     worker_restarts: int = 0
@@ -115,13 +121,17 @@ class RunnerStats:
         if self.lease_reclaims or self.worker_restarts:
             fleet = (f", {self.lease_reclaims} leases reclaimed, "
                      f"{self.worker_restarts} workers respawned")
+        snaps = ""
+        if self.checkpoints_quarantined:
+            snaps = (f", {self.checkpoints_quarantined} "
+                     f"snapshots quarantined")
         return (f"{self.total} jobs: {self.executed} executed, "
                 f"{self.cache_hits} cached "
                 f"({100 * self.cache_hit_rate:.0f}% hit rate), "
                 f"{self.deduplicated} deduplicated, "
                 f"{self.retries} retries, {self.failed} failed, "
                 f"{self.quarantined} quarantined, "
-                f"{self.backoff_s:.1f}s backoff{fleet}, "
+                f"{self.backoff_s:.1f}s backoff{fleet}{snaps}, "
                 f"{self.wall_s:.1f}s wall")
 
 
@@ -185,6 +195,8 @@ class ParallelRunner:
                  journal: Optional[SweepJournal] = None,
                  handle_signals: bool = True,
                  backend: Optional[ExecBackend] = None,
+                 checkpoint_dir=None,
+                 checkpoint_every: Optional[int] = None,
                  ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -210,6 +222,14 @@ class ParallelRunner:
         #: retry round, with inline fallback when the platform has no
         #: usable process pool.
         self.backend = backend
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every is a subframe count >= 1")
+        #: Root directory for mid-run snapshots; each job checkpoints
+        #: under ``<checkpoint_dir>/<fingerprint>`` so resumed sweeps
+        #: find their snapshots by content, not by submission order.
+        #: ``None`` disables checkpointing.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
         self.stats = RunnerStats()
         self._done = 0
         #: True while the current pool round holds a timed-out worker
@@ -254,6 +274,9 @@ class ParallelRunner:
             else:
                 pending.append((i, job))
 
+        if self.checkpoint_dir is not None and pending:
+            self._attach_checkpoints(pending, fingerprints)
+
         if self.journal is not None and pending:
             self.journal.begin(sweep_fingerprint(fingerprints),
                                total=len(jobs))
@@ -297,11 +320,34 @@ class ParallelRunner:
             self._journal_end("complete")
         return results
 
+    def _attach_checkpoints(self, pending: list,
+                            fingerprints: list) -> None:
+        """Give every pending flow job a per-fingerprint snapshot dir.
+
+        Only single-flow jobs are checkpointable: metro shards schedule
+        local closures (population epochs) on the simulator, which the
+        snapshot codec rejects by design — those jobs simply run
+        straight through, as before.
+        """
+        from ..harness.checkpoint import DEFAULT_INTERVAL_SUBFRAMES
+        from .backend import wire_kind_of
+        interval = self.checkpoint_every or DEFAULT_INTERVAL_SUBFRAMES
+        root = Path(self.checkpoint_dir)
+        for i, job in pending:
+            if wire_kind_of(job) != "flow":
+                continue
+            job.checkpoint = {"dir": str(root / fingerprints[i]),
+                              "interval_subframes": interval}
+
     def _finish(self, t0: float, quarantined_before: int) -> None:
         self.stats.wall_s = time.monotonic() - t0
         if self.store is not None:
             self.stats.quarantined = (self.store.quarantine_events
                                       - quarantined_before)
+        if self.checkpoint_dir is not None:
+            from ..harness.checkpoint import count_quarantined
+            self.stats.checkpoints_quarantined = count_quarantined(
+                Path(self.checkpoint_dir))
 
     def _journal_end(self, status: str) -> None:
         if self.journal is not None:
@@ -643,7 +689,9 @@ def make_runner(jobs: int = 1, cache_dir=None,
                 failure_budget: Optional[float] = None,
                 journal=None,
                 handle_signals: bool = True,
-                backend: Optional[ExecBackend] = None) -> ParallelRunner:
+                backend: Optional[ExecBackend] = None,
+                checkpoint_dir=None,
+                checkpoint_every: Optional[int] = None) -> ParallelRunner:
     """The experiment drivers' shared runner-construction shorthand.
 
     Passing an explicit ``runner`` wins (and exposes its ``stats`` to
@@ -666,4 +714,6 @@ def make_runner(jobs: int = 1, cache_dir=None,
                           strict=strict, failure_budget=failure_budget,
                           journal=journal,
                           handle_signals=handle_signals,
-                          backend=backend)
+                          backend=backend,
+                          checkpoint_dir=checkpoint_dir,
+                          checkpoint_every=checkpoint_every)

@@ -35,6 +35,10 @@ MAX_GHOST_MCS = 28
 class LossyDecoder:
     """Impairment wrapper around one cell's control-channel decoder."""
 
+    #: Checkpointing: the wrapped decoder is snapshotted through the
+    #: monitor; the fault spec is immutable config.
+    SNAPSHOT_SKIP = ("decoder", "spec")
+
     def __init__(self, decoder: ControlChannelDecoder,
                  spec: FaultSpec) -> None:
         self.decoder = decoder

@@ -34,6 +34,10 @@ from .spec import FaultSpec
 class ImpairedPipe(Receiver):
     """Loss / reordering / duplication / corruption packet wrapper."""
 
+    #: Checkpointing: wiring and the (immutable) fault spec come from
+    #: the rebuilt experiment; only the RNG stream and counters travel.
+    SNAPSHOT_SKIP = ("sim", "sink", "spec")
+
     def __init__(self, sim: Simulator, sink: Receiver, spec: FaultSpec,
                  flow_id: int = 0, name: str = "impaired") -> None:
         self.sim = sim

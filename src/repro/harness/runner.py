@@ -126,6 +126,11 @@ class FlowHandle:
     #: Fault injectors installed for this flow, when any.
     impaired_pipe: Optional[ImpairedPipe] = None
     lossy_decoders: dict = field(default_factory=dict)
+    #: Wiring kept for checkpointing: the private Internet link
+    #: (``None`` when the flow rides a shared bottleneck) and the LTE
+    #: uplink batching stage.
+    egress: Optional[Link] = None
+    uplink: Optional[Receiver] = None
 
     @property
     def stats(self) -> FlowStats:
@@ -192,6 +197,8 @@ class Experiment:
             perf_counters=perf_counters,
             batched=batched)
         self.flows: list[FlowHandle] = []
+        #: Shared bottleneck links (checkpointed alongside the flows).
+        self._shared_links: list[Link] = []
         self._add_background_users()
         self.network.start()
 
@@ -220,6 +227,7 @@ class Experiment:
                     if spec.internet_delay_us is not None
                     else scenario.internet_delay_us)
 
+        private_link: Optional[Link] = None
         if spec.shared_link is not None:
             # Shared bottleneck: the link's sink must be a FlowDemux
             # (see make_shared_bottleneck); register this flow's route.
@@ -231,20 +239,23 @@ class Experiment:
                     "(use Experiment.make_shared_bottleneck)")
             demux.add_route(spec.rnti, self.network.ingress(spec.rnti))
         else:
-            egress = Link(sim, self.network.ingress(spec.rnti),
-                          rate_bps=scenario.internet_rate_bps,
-                          delay_us=delay_us,
-                          queue_packets=scenario.internet_queue_packets,
-                          name=f"internet-{spec.rnti}")
+            private_link = Link(
+                sim, self.network.ingress(spec.rnti),
+                rate_bps=scenario.internet_rate_bps,
+                delay_us=delay_us,
+                queue_packets=scenario.internet_queue_packets,
+                name=f"internet-{spec.rnti}")
+            egress = private_link
 
         cc = make_cc(spec.scheme, seed=scenario.seed + spec.rnti,
                      **spec.cc_kwargs)
         sender = Sender(sim, flow_id=spec.rnti, cc=cc, egress=egress,
                         app_rate_bps=spec.app_rate_bps)
-        uplink: Receiver = BatchingPipe(
+        batching = BatchingPipe(
             sim, sender, scenario.uplink_delay_us,
             batch_interval_us=scenario.uplink_batch_us,
             name=f"uplink-{spec.rnti}")
+        uplink: Receiver = batching
 
         # Reverse-path fault injection sits between the phone and the
         # LTE uplink batching stage (any scheme can be impaired).
@@ -276,7 +287,8 @@ class Experiment:
 
         handle = FlowHandle(spec, sender, receiver, cc, monitor,
                             impaired_pipe=impaired_pipe,
-                            lossy_decoders=lossy_decoders)
+                            lossy_decoders=lossy_decoders,
+                            egress=private_link, uplink=batching)
         self.flows.append(handle)
         return handle
 
@@ -289,9 +301,11 @@ class Experiment:
         automatically as flows are added (§4.2.3's shared-Internet-
         bottleneck topology).
         """
-        return Link(self.sim, FlowDemux(), rate_bps=rate_bps,
+        link = Link(self.sim, FlowDemux(), rate_bps=rate_bps,
                     delay_us=delay_us, queue_packets=queue_packets,
                     name="shared-bottleneck")
+        self._shared_links.append(link)
+        return link
 
     def schedule_handover(self, handle: FlowHandle, at_s: float,
                           new_cells: list[int],
@@ -302,13 +316,17 @@ class Experiment:
         target cells — pass the union of all visited cells in the
         flow's ``cells`` spec.
         """
-        def perform() -> None:
-            self.network.handover(handle.spec.rnti, new_cells,
-                                  channel=channel)
-            if handle.monitor is not None:
-                handle.monitor.set_primary(new_cells[0])
+        self.sim.schedule(us_from_seconds(at_s), self._perform_handover,
+                          handle.spec.rnti, new_cells, channel)
 
-        self.sim.schedule(us_from_seconds(at_s), perform)
+    def _perform_handover(self, rnti: int, new_cells: list[int],
+                          channel: Optional[ChannelModel]) -> None:
+        """Deferred handover body (a bound method — not a closure — so
+        a checkpointed heap can re-bind the pending event on restore)."""
+        self.network.handover(rnti, new_cells, channel=channel)
+        for handle in self.flows:
+            if handle.spec.rnti == rnti and handle.monitor is not None:
+                handle.monitor.set_primary(new_cells[0])
 
     def _wire_pbe(self, spec: FlowSpec, cells: list[int],
                   uplink: Receiver,
@@ -346,9 +364,46 @@ class Experiment:
         return receiver, monitor, lossy_decoders
 
     # ------------------------------------------------------------------
-    def run(self) -> list[FlowResult]:
-        """Run to the scenario's end and summarize every flow."""
-        self.sim.run(until_us=us_from_seconds(self.scenario.duration_s))
+    def _checkpoint_owners(self) -> dict:
+        """Stable key -> live object map for heap-event serialization.
+
+        Every object whose bound methods may sit on the event heap gets
+        a deterministic key; :mod:`repro.harness.checkpoint` encodes
+        pending events as ``(owner_key, method_name, args)`` and
+        re-binds them against this map on restore.  Built on demand —
+        after a restore it reflects dynamically (re)materialized users.
+        """
+        owners: dict = {"exp": self, "net": self.network}
+        for i, link in enumerate(self._shared_links):
+            owners[f"shared:{i}"] = link
+            owners[f"sharedsink:{i}"] = link.sink
+        for handle in self.flows:
+            rnti = handle.spec.rnti
+            owners[f"sender:{rnti}"] = handle.sender
+            owners[f"recv:{rnti}"] = handle.receiver
+            owners[f"uplink:{rnti}"] = handle.uplink
+            if handle.impaired_pipe is not None:
+                owners[f"imp:{rnti}"] = handle.impaired_pipe
+            if handle.egress is not None:
+                owners[f"link:{rnti}"] = handle.egress
+                owners[f"ingress:{rnti}"] = handle.egress.sink
+        for rnti, user in self.network._users.items():
+            if user.ue is not None:
+                owners[f"ue:{rnti}"] = user.ue
+        return owners
+
+    def run(self, checkpoint=None) -> list[FlowResult]:
+        """Run to the scenario's end and summarize every flow.
+
+        ``checkpoint`` (a :class:`repro.harness.checkpoint.
+        CheckpointManager`) switches the single event-loop call to the
+        snapshotting run loop; results are byte-identical either way.
+        """
+        end_us = us_from_seconds(self.scenario.duration_s)
+        if checkpoint is None:
+            self.sim.run(until_us=end_us)
+        else:
+            checkpoint.run_to(self, end_us)
         results = []
         for handle in self.flows:
             state_fractions = None
@@ -385,9 +440,17 @@ class Experiment:
 
 
 def run_flow(scenario: Scenario, scheme: str,
-             spec_overrides: Optional[dict] = None) -> FlowResult:
-    """Convenience: one flow, full scenario duration."""
+             spec_overrides: Optional[dict] = None,
+             checkpoint=None) -> FlowResult:
+    """Convenience: one flow, full scenario duration.
+
+    With a :class:`repro.harness.checkpoint.CheckpointManager`, the
+    newest valid snapshot (if any) is restored before running and the
+    run snapshots on the manager's cadence.
+    """
     experiment = Experiment(scenario)
     spec = FlowSpec(scheme=scheme, **(spec_overrides or {}))
     experiment.add_flow(spec)
-    return experiment.run()[0]
+    if checkpoint is not None:
+        checkpoint.try_restore(experiment)
+    return experiment.run(checkpoint=checkpoint)[0]

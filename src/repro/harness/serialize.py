@@ -95,8 +95,10 @@ def write_json_atomic(payload, path: Union[str, Path],
     is the commit point; readers only ever see a whole file).  The
     experiment result cache (:class:`repro.exec.ResultStore`) relies on
     both guarantees.  ``fsync=True`` additionally flushes the data to
-    disk before the rename, so a machine crash immediately after the
-    call cannot surface an empty file under ``path``.
+    disk before the rename — and the parent directory after it, so the
+    rename itself is durable (matching ``ResultStore.put``): a machine
+    crash immediately after the call can surface neither an empty file
+    nor a vanished one under ``path``.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -115,13 +117,20 @@ def write_json_atomic(payload, path: Union[str, Path],
         except OSError:
             pass
         raise
+    if fsync:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
 
 def save_results(results: list, path: Union[str, Path],
                  include_samples: bool = False) -> None:
-    """Write a list of :class:`FlowResult` to a JSON file (atomically)."""
+    """Write a list of :class:`FlowResult` to a JSON file (atomically,
+    with the file and its directory entry both flushed to disk)."""
     payload = [result_to_dict(r, include_samples) for r in results]
-    write_json_atomic(payload, path)
+    write_json_atomic(payload, path, fsync=True)
 
 
 def load_results(path: Union[str, Path]) -> list:

@@ -66,6 +66,14 @@ class CellCapacityEstimator:
     #: Upper bound on the averaging window, subframes (RTprop can grow).
     MAX_WINDOW = 400
 
+    #: Checkpointing: the per-window memo is a pure cache (identical
+    #: estimates recompute from the snapshotted rings).
+    SNAPSHOT_SKIP = ("_memo",)
+
+    def _after_restore(self) -> None:
+        self._memo = {}
+        self._memo_version = -1
+
     def __init__(self, cell_id: int, total_prbs: int, own_rnti: int,
                  user_window_subframes: int = 40,
                  filter_control_users: bool = True) -> None:

@@ -25,6 +25,9 @@ N_SEARCH_POSITIONS = 16
 class ControlChannelDecoder:
     """One cell's decoder feeding a fusion/estimation sink."""
 
+    #: Checkpointing: the sink callable is rebuilt monitor wiring.
+    SNAPSHOT_SKIP = ("sink",)
+
     def __init__(self, cell_id: int,
                  sink: Callable[[SubframeRecord], None],
                  decode_latency_subframes: int = 0) -> None:
@@ -107,6 +110,8 @@ class MessageFusion:
     subscribed cell has reported that subframe (or as soon as a later
     subframe arrives, so a stalled decoder cannot block the pipeline).
     """
+
+    SNAPSHOT_SKIP = ("sink",)
 
     def __init__(self, cell_ids: list[int],
                  sink: Callable[[dict[int, SubframeRecord]], None]) -> None:

@@ -83,6 +83,14 @@ class MonitorReport:
 class PbeMonitor:
     """Mobile-endpoint physical-layer bandwidth measurement module."""
 
+    #: Checkpointing: the rate hint is a rebuilt-wiring closure, the
+    #: translation table and report memo are pure caches (identical
+    #: values recompute on demand).
+    SNAPSHOT_SKIP = ("own_rate_hint", "translation", "_report_memo")
+
+    def _after_restore(self) -> None:
+        self._report_memo = None
+
     def __init__(self, own_rnti: int, cell_prbs: dict[int, int],
                  primary_cell: int,
                  own_rate_hint: Callable[[], tuple[int, float]],

@@ -30,6 +30,10 @@ class Receiver:
 class DelayPipe(Receiver):
     """Infinite-bandwidth link: every packet arrives ``delay_us`` later."""
 
+    #: Checkpointing: the simulator and downstream sink are wiring,
+    #: restored from the rebuilt experiment (see repro.statedict).
+    SNAPSHOT_SKIP = ("sim", "sink")
+
     def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
                  name: str = "pipe") -> None:
         if delay_us < 0:
@@ -57,6 +61,8 @@ class BatchingPipe(Receiver):
     of the "ACK delay, ACK compression" problems §2 attributes to
     delay-based schemes on cellular paths).
     """
+
+    SNAPSHOT_SKIP = ("sim", "sink")
 
     def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
                  batch_interval_us: int = 5_000,
@@ -99,6 +105,8 @@ class Link(Receiver):
     holds ``queue_packets`` packets, further arrivals are dropped (and
     counted), which is what loss-based congestion control reacts to.
     """
+
+    SNAPSHOT_SKIP = ("sim", "sink")
 
     def __init__(self, sim: Simulator, sink: Receiver, rate_bps: float,
                  delay_us: int, queue_packets: int = 1000,
@@ -163,6 +171,9 @@ class FlowDemux(Receiver):
     into one queue, and the demux fans the survivors out to each flow's
     cellular ingress (the §4.2.3 shared-Internet-bottleneck topology).
     """
+
+    #: Routes map to per-flow ingress adapters (rebuilt wiring).
+    SNAPSHOT_SKIP = ("_routes",)
 
     def __init__(self, routes: Optional[dict] = None) -> None:
         self._routes: dict[int, Receiver] = dict(routes or {})

@@ -186,6 +186,48 @@ class Simulator:
         self._running = False
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self, encode_entry: Callable[[int, int, Event], Any]
+                       ) -> dict:
+        """Serializable clock + heap state.
+
+        ``encode_entry(time, seq, event)`` turns one heap entry into
+        plain data (the checkpoint layer encodes the callback as an
+        owner key and the args through the state-dict codec).  The heap
+        array is kept **verbatim** — cancelled entries included, in heap
+        order — so a restored simulator replays the exact same pop
+        sequence, compactions and all.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "cancelled": self._cancelled,
+            "heap": [encode_entry(time, seq, event)
+                     for time, seq, event in self._heap],
+        }
+
+    def restore_state(self, state: dict,
+                      make_event: Callable[[Any], Event]) -> None:
+        """Restore clock and heap from :meth:`snapshot_state` output.
+
+        ``make_event(raw_entry)`` must return an :class:`Event` with its
+        ``time``/``seq``/``cancelled`` fields set (callback and args may
+        be resolved by the caller afterwards — the heap only orders on
+        the ``(time, seq)`` tuple key).  The serialized order is reused
+        verbatim; it was a valid heap when captured.
+        """
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self._cancelled = state["cancelled"]
+        heap = []
+        for raw in state["heap"]:
+            event = make_event(raw)
+            event._owner = self
+            heap.append((event.time, event.seq, event))
+        self._heap[:] = heap
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

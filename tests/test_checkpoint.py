@@ -1,0 +1,436 @@
+"""Mid-run checkpoint/restore: crash-consistent, byte-identical resume.
+
+The checkpoint subsystem's contract is absolute: a run that snapshots
+on a cadence, dies at an arbitrary subframe boundary and resumes from
+the newest valid snapshot must produce the *byte-identical* whole-run
+fingerprint of an uninterrupted run — packet logs, estimator state,
+RNG streams and all.  These tests drive that contract over the pinned
+6-configuration suite, randomized configurations crossed with
+randomized kill points, a true SIGKILL through the worker entry point,
+and the corruption paths (truncated payloads, unknown schema versions)
+that must quarantine bad snapshots and fall back instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.exec import ChaosSpec, ParallelRunner, job_from_wire, job_to_wire
+from repro.exec.job import Job
+from repro.harness import Experiment, FlowSpec, Scenario
+from repro.harness.checkpoint import (
+    SNAPSHOT_SUFFIX,
+    CheckpointConfig,
+    CheckpointDrain,
+    CheckpointManager,
+    SnapshotCorrupt,
+    clear_drain,
+    count_quarantined,
+    read_snapshot,
+    request_drain,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.harness.fingerprint import (
+    digest_run,
+    fingerprint_configs,
+    run_fingerprint,
+)
+from repro.net.units import us_from_seconds
+from repro.phy.channel import GaussMarkovChannel, StaticChannel
+
+#: Long enough for CA activation and control-burst catch-up to fire,
+#: short enough to keep the suite's many full runs affordable.
+DURATION_S = 0.4
+SUBFRAME_US = 1_000
+
+
+def _build(scenario: Scenario, specs: list) -> tuple:
+    experiment = Experiment(scenario, batched=True)
+    handles = [experiment.add_flow(spec) for spec in specs]
+    return experiment, handles
+
+
+def _resume_digest(scenario: Scenario, specs: list, directory,
+                   interval: int) -> str:
+    """Restore the newest snapshot under ``directory`` and finish."""
+    experiment, handles = _build(scenario, specs)
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(directory), interval_subframes=interval))
+    manager.try_restore(experiment)
+    results = experiment.run(checkpoint=manager)
+    return digest_run(experiment, handles, results)
+
+
+# ---------------------------------------------------------------------------
+# Pinned suite: interrupt at a mid-run boundary, resume, compare
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(fingerprint_configs(0.1)))
+def test_pinned_suite_resume_matches_straight(name, tmp_path):
+    # Configs embed stateful channel objects: rebuild them fresh for
+    # every run or the first run's RNG consumption leaks into the next.
+    scenario, specs = fingerprint_configs(DURATION_S)[name]
+    straight = run_fingerprint(scenario, specs)
+
+    interval = 120
+    stop_us = us_from_seconds(DURATION_S / 2)
+    scenario, specs = fingerprint_configs(DURATION_S)[name]
+    experiment, _ = _build(scenario, specs)
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), interval_subframes=interval))
+    manager.run_to(experiment, stop_us)  # "crash" here: discard it
+    assert manager.saved >= 1
+
+    scenario, specs = fingerprint_configs(DURATION_S)[name]
+    assert _resume_digest(scenario, specs, tmp_path,
+                          interval) == straight
+
+
+# ---------------------------------------------------------------------------
+# Randomized configurations x randomized kill points
+# ---------------------------------------------------------------------------
+
+def _random_config(rng: random.Random) -> tuple:
+    busy = rng.random() < 0.5
+    scenario = Scenario(
+        name=f"ck-rand-{rng.randrange(1 << 16)}",
+        aggregated_cells=rng.choice((1, 2)),
+        mean_sinr_db=rng.uniform(12.0, 22.0),
+        busy=busy,
+        background_users=rng.randrange(1, 4) if busy else 0,
+        duration_s=DURATION_S,
+        seed=rng.randrange(1, 1 << 30))
+    if rng.random() < 0.5:
+        channel = GaussMarkovChannel(
+            mean_sinr_db=rng.uniform(12.0, 20.0), std_db=2.5,
+            memory=0.9, coherence_us=8_000,
+            seed=rng.randrange(1, 1 << 30))
+    else:
+        channel = StaticChannel(rng.uniform(12.0, 22.0),
+                                fading_std_db=1.0,
+                                seed=rng.randrange(1, 1 << 30))
+    spec_kwargs = {"scheme": rng.choice(("pbe", "pbe", "bbr")),
+                   "channel": channel}
+    return scenario, spec_kwargs
+
+
+def _fresh_specs(rng_seed: int) -> list:
+    """Specs with a *fresh* channel object (stateful; never reuse)."""
+    _, kwargs = _random_config(random.Random(rng_seed))
+    return [FlowSpec(**kwargs)]
+
+
+def test_randomized_configs_and_kill_points(tmp_path):
+    """>= 10 randomized (config, kill-subframe) points, all identical."""
+    duration_subframes = int(DURATION_S * 1000)
+    outer = random.Random(0xC4EC)
+    kill_points = 0
+    for case in range(3):
+        seed = outer.randrange(1 << 30)
+        scenario, _ = _random_config(random.Random(seed))
+        straight = run_fingerprint(scenario, _fresh_specs(seed))
+        for point in range(4):
+            interval = outer.randrange(60, 200)
+            stop = outer.randrange(1, duration_subframes)
+            root = tmp_path / f"case{case}-kill{point}"
+            scenario, _ = _random_config(random.Random(seed))
+            experiment, _ = _build(scenario, _fresh_specs(seed))
+            manager = CheckpointManager(CheckpointConfig(
+                directory=str(root), interval_subframes=interval))
+            manager.run_to(experiment, stop * SUBFRAME_US)
+
+            scenario, _ = _random_config(random.Random(seed))
+            resumed = _resume_digest(scenario, _fresh_specs(seed),
+                                     root, interval)
+            assert resumed == straight, (
+                f"divergence: seed={seed} interval={interval} "
+                f"kill_subframe={stop}")
+            kill_points += 1
+    assert kill_points >= 10
+
+
+# ---------------------------------------------------------------------------
+# A true SIGKILL through the worker entry point
+# ---------------------------------------------------------------------------
+
+def test_sigkill_mid_job_then_resume_byte_identical(tmp_path):
+    """kill_at_subframe SIGKILLs the process right after a snapshot;
+    re-executing the job restores it and matches a straight run."""
+    from repro.exec.worker import execute_job
+
+    def make_job() -> Job:
+        return Job(scenario=Scenario(name="ck-sigkill", busy=True,
+                                     background_users=3,
+                                     aggregated_cells=2,
+                                     duration_s=DURATION_S, seed=91),
+                   scheme="pbe")
+
+    straight = execute_job(make_job())
+    child = textwrap.dedent(f"""
+        import sys
+        sys.path.insert(0, {repr(str(_repo_src()))})
+        from repro.exec.job import Job
+        from repro.exec.worker import execute_job
+        from repro.harness import Scenario
+        job = Job(scenario=Scenario(name="ck-sigkill", busy=True,
+                                    background_users=3,
+                                    aggregated_cells=2,
+                                    duration_s={DURATION_S}, seed=91),
+                  scheme="pbe")
+        job.checkpoint = {{"dir": {repr(str(tmp_path))},
+                          "interval_subframes": 150,
+                          "kill_at_subframe": 230}}
+        execute_job(job)
+        raise SystemExit("survived the kill subframe")
+    """)
+    proc = subprocess.run([sys.executable, "-c", child],
+                          capture_output=True, text=True)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    snapshots = sorted(tmp_path.glob(f"*{SNAPSHOT_SUFFIX}"))
+    assert snapshots, "no snapshot persisted before the SIGKILL"
+    assert snapshots[-1].name == "ckpt-0000000230.snap"
+
+    job = make_job()
+    job.checkpoint = {"dir": str(tmp_path), "interval_subframes": 150}
+    resumed = execute_job(job)
+    assert json.dumps(resumed, sort_keys=True) == \
+        json.dumps(straight, sort_keys=True)
+
+
+def _repo_src():
+    import repro
+    return os.path.dirname(os.path.dirname(repro.__file__))
+
+
+# ---------------------------------------------------------------------------
+# Corruption: truncation, unknown versions, quarantine accounting
+# ---------------------------------------------------------------------------
+
+def _config_for_corruption() -> tuple:
+    scenario = Scenario(name="ck-corrupt", busy=True,
+                        background_users=2, aggregated_cells=2,
+                        duration_s=DURATION_S, seed=55)
+    return scenario, [FlowSpec(scheme="pbe")]
+
+
+def _snapshot_two(tmp_path, interval: int = 120) -> None:
+    scenario, specs = _config_for_corruption()
+    experiment, _ = _build(scenario, specs)
+    # wall_budget=None: this helper needs a snapshot at *every*
+    # boundary (the corruption tests truncate the newest and fall back
+    # to the older one), not the amortized production cadence.
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), interval_subframes=interval,
+        wall_budget=None))
+    manager.run_to(experiment, 2 * interval * SUBFRAME_US + 500)
+    assert manager.saved >= 2
+
+
+def test_truncated_snapshot_quarantined_then_older_used(tmp_path):
+    scenario, specs = _config_for_corruption()
+    straight = run_fingerprint(scenario, specs)
+
+    _snapshot_two(tmp_path)
+    newest = sorted(tmp_path.glob(f"*{SNAPSHOT_SUFFIX}"))[-1]
+    blob = newest.read_bytes()
+    newest.write_bytes(blob[:len(blob) // 2])  # torn write
+
+    scenario, specs = _config_for_corruption()
+    experiment, handles = _build(scenario, specs)
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), interval_subframes=120))
+    restored = manager.try_restore(experiment)
+    assert restored == 120  # fell back to the older snapshot
+    assert manager.quarantined == 1
+    assert count_quarantined(tmp_path) == 1
+    results = experiment.run(checkpoint=manager)
+    assert digest_run(experiment, handles, results) == straight
+
+
+def test_unknown_version_quarantined_then_from_scratch(tmp_path):
+    scenario, specs = _config_for_corruption()
+    straight = run_fingerprint(scenario, specs)
+
+    # A single snapshot from the future: nothing valid remains after
+    # quarantining it, so the run must fall back to from-scratch.
+    path = write_snapshot(tmp_path, 100, {"sim": {}})
+    blob = path.read_bytes()
+    header, _, payload = blob.partition(b"\n")
+    doctored = json.loads(header)
+    doctored["version"] = 99
+    path.write_bytes(json.dumps(doctored, sort_keys=True).encode()
+                     + b"\n" + payload)
+
+    scenario, specs = _config_for_corruption()
+    experiment, handles = _build(scenario, specs)
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), interval_subframes=120))
+    assert manager.try_restore(experiment) is None
+    assert manager.quarantined == 1
+    assert count_quarantined(tmp_path) == 1
+    results = experiment.run(checkpoint=manager)
+    assert digest_run(experiment, handles, results) == straight
+
+
+def test_read_snapshot_rejects_bad_checksum(tmp_path):
+    path = write_snapshot(tmp_path, 7, {"sim": {"now": 0}})
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotCorrupt):
+        read_snapshot(path)
+
+
+# ---------------------------------------------------------------------------
+# Drain: SIGTERM-style stop at the next boundary, then resume
+# ---------------------------------------------------------------------------
+
+def test_drain_stops_at_boundary_and_resume_matches(tmp_path):
+    scenario, specs = _config_for_corruption()
+    straight = run_fingerprint(scenario, specs)
+
+    scenario, specs = _config_for_corruption()
+    experiment, _ = _build(scenario, specs)
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), interval_subframes=100))
+    request_drain()
+    try:
+        with pytest.raises(CheckpointDrain):
+            experiment.run(checkpoint=manager)
+    finally:
+        clear_drain()
+    assert experiment.sim.now == 100 * SUBFRAME_US
+    assert snapshot_path(tmp_path, 100).exists()
+
+    scenario, specs = _config_for_corruption()
+    assert _resume_digest(scenario, specs, tmp_path, 100) == straight
+
+
+def test_checkpoint_drain_is_an_oserror():
+    # The runner's crash-retry machinery catches OSError: a drained
+    # job must re-enter the queue, not surface as a hard failure.
+    assert issubclass(CheckpointDrain, OSError)
+
+
+# ---------------------------------------------------------------------------
+# Exec integration: wire format, fingerprints, runner stats
+# ---------------------------------------------------------------------------
+
+def _tiny_job() -> Job:
+    return Job(scenario=Scenario(name="ck-wire", duration_s=0.1,
+                                 seed=3),
+               scheme="reno")
+
+
+def test_wire_roundtrip_carries_checkpoint_outside_fingerprint():
+    plain = _tiny_job()
+    tagged = _tiny_job()
+    tagged.checkpoint = {"dir": "/tmp/ck", "interval_subframes": 250}
+    # Checkpointing never changes what a job computes: fingerprints
+    # (and thus cache keys) must be identical with and without it.
+    assert tagged.fingerprint() == plain.fingerprint()
+    assert "checkpoint" not in plain.to_dict()
+
+    wire = job_to_wire(tagged)
+    assert wire["checkpoint"] == tagged.checkpoint
+    rebuilt = job_from_wire(json.loads(json.dumps(wire)))
+    assert rebuilt.checkpoint == tagged.checkpoint
+    assert rebuilt.fingerprint() == plain.fingerprint()
+
+    wire_plain = job_to_wire(plain)
+    assert "checkpoint" not in wire_plain
+    assert not hasattr(job_from_wire(wire_plain), "checkpoint")
+
+
+def test_runner_attaches_checkpoints_and_counts_quarantines(tmp_path):
+    job = _tiny_job()
+    fingerprint = job.fingerprint()
+    ckroot = tmp_path / "checkpoints"
+    # Pre-seed the job's snapshot directory with garbage: the restore
+    # must quarantine it, run from scratch and report the count.
+    jobdir = ckroot / fingerprint
+    jobdir.mkdir(parents=True)
+    snapshot_path(jobdir, 50).write_bytes(b"not a snapshot")
+
+    runner = ParallelRunner(jobs=1, checkpoint_dir=str(ckroot),
+                            checkpoint_every=40, handle_signals=False)
+    results = runner.run([job])
+    assert job.checkpoint == {"dir": str(jobdir),
+                              "interval_subframes": 40}
+    assert results[0]["scheme"] == "reno"
+    assert runner.stats.checkpoints_quarantined == 1
+    assert "1 snapshots quarantined" in runner.stats.format()
+    # The run itself snapshotted on cadence into the same directory.
+    assert sorted(jobdir.glob(f"*{SNAPSHOT_SUFFIX}"))
+
+
+def test_runner_skips_checkpoint_for_non_flow_jobs(tmp_path):
+    from repro.exec import ProbeJob
+    probe = ProbeJob(params={"sleep_s": 0.0})
+    runner = ParallelRunner(jobs=1, checkpoint_dir=str(tmp_path),
+                            handle_signals=False)
+    runner.run([probe])
+    assert not hasattr(probe, "checkpoint")
+
+
+def test_wall_budget_throttles_boundary_saves(tmp_path):
+    manager = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), wall_budget=0.05))
+    # First eligible boundary always saves (no cost estimate yet).
+    assert manager._should_save()
+    # An expensive save just finished: the boundary right after it must
+    # be skipped until ~19x its cost has elapsed.
+    import time as _time
+    manager._save_cost = 3600.0
+    manager._last_save_end = _time.monotonic()
+    assert not manager._should_save()
+    # A long-amortized save is allowed again.
+    manager._last_save_end = _time.monotonic() - 20.0 * 3600.0
+    assert manager._should_save()
+    # Disabling the budget saves at every boundary.
+    unthrottled = CheckpointManager(CheckpointConfig(
+        directory=str(tmp_path), wall_budget=None))
+    unthrottled._save_cost = 3600.0
+    unthrottled._last_save_end = _time.monotonic()
+    assert unthrottled._should_save()
+
+
+def test_wall_budget_rides_the_wire_only_when_non_default(tmp_path):
+    from repro.harness.checkpoint import DEFAULT_WALL_BUDGET
+    default = CheckpointConfig(directory=str(tmp_path))
+    assert "wall_budget" not in default.to_dict()
+    assert (CheckpointConfig.from_dict(default.to_dict()).wall_budget
+            == DEFAULT_WALL_BUDGET)
+    custom = CheckpointConfig(directory=str(tmp_path), wall_budget=None)
+    assert custom.to_dict()["wall_budget"] is None
+    assert CheckpointConfig.from_dict(custom.to_dict()).wall_budget is None
+
+
+def test_chaos_kill_subframe_is_deterministic_and_in_range():
+    spec = ChaosSpec(seed=9, kill_mid_job_prob=1.0)
+    fingerprint = "ab" * 32
+    first = spec.kill_subframe(fingerprint, 400)
+    assert first == spec.kill_subframe(fingerprint, 400)
+    assert 1 <= first <= 399
+    assert spec.kill_subframe(fingerprint, 2) == 1
+    # Different seeds move the kill point (with overwhelming odds).
+    others = {ChaosSpec(seed=s, kill_mid_job_prob=1.0)
+              .kill_subframe(fingerprint, 400) for s in range(8)}
+    assert len(others) > 1
+
+
+def test_kill_mid_job_is_a_known_chaos_fault():
+    from repro.exec.chaos import FAULT_PROBS
+    assert FAULT_PROBS["kill_mid_job"] == "kill_mid_job_prob"
+    spec = ChaosSpec(kill_mid_job_prob=0.5)
+    assert spec.active
+    assert ChaosSpec.from_dict(spec.to_dict()) == spec

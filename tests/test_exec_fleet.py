@@ -27,10 +27,14 @@ from repro.exec import (
     spawn_local_workers,
 )
 from repro.exec.fleet import (
+    CLAIM_FRESH,
+    CLAIM_TAKEOVER,
     LEASE_DIR,
     QUEUE_DIR,
     RESULT_DIR,
     STOP_FILE,
+    WORKERS_DIR,
+    fleet_status,
     lease_expired,
     release_lease,
     try_claim,
@@ -85,6 +89,17 @@ def test_force_claim_races_a_live_lease(tmp_path):
     assert try_claim(tmp_path, fp, "w1", ttl_s=60)
     assert not try_claim(tmp_path, fp, "w2", ttl_s=60)
     assert try_claim(tmp_path, fp, "w2", ttl_s=60, force=True)
+
+
+def test_claim_codes_distinguish_takeover_from_fresh(tmp_path):
+    fp = "12" * 16
+    assert try_claim(tmp_path, fp, "w1", ttl_s=0.05) == CLAIM_FRESH
+    time.sleep(0.2)
+    # Replacing an expired lease is a reclamation...
+    assert try_claim(tmp_path, fp, "w2", ttl_s=60) == CLAIM_TAKEOVER
+    # ...but a forced duplicate of a live lease is just a race.
+    assert try_claim(tmp_path, fp, "w3", ttl_s=60,
+                     force=True) == CLAIM_FRESH
 
 
 def test_release_lease_tolerates_absence(tmp_path):
@@ -187,6 +202,40 @@ def test_expired_lease_is_reclaimed_and_job_retried(tmp_path):
     assert runner.stats.lease_reclaims >= 1
     assert runner.stats.retries >= 1
     assert "leases reclaimed" in runner.stats.format()
+
+
+def test_worker_takeover_is_counted_and_folded_into_stats(tmp_path):
+    # A sibling worker can take over an expired lease before the
+    # driver's poll notices the dead heartbeat; the driver would
+    # otherwise undercount lease_reclaims.  The worker counts the
+    # takeover, publishes it through its beacon, and the backend
+    # folds beacon counts into the telemetry.
+    backend = FleetBackend(tmp_path, ttl_s=0.2, poll_s=0.02)
+    fp = enqueue(tmp_path, probe(9))
+    assert try_claim(tmp_path, fp, "dead-worker", ttl_s=0.2)
+    time.sleep(0.5)
+    worker = FleetWorker(tmp_path, worker_id="healthy", ttl_s=1.0,
+                         poll_s=0.02, max_jobs=1,
+                         log=open(os.devnull, "w"))
+    worker.run()
+    assert worker.reclaimed == 1
+    beacon = json.loads(
+        (tmp_path / WORKERS_DIR / "healthy.json").read_text())
+    assert beacon["reclaimed"] == 1
+    assert backend.lease_reclaims == 1  # driver never saw the expiry
+    row, = [w for w in fleet_status(tmp_path)["workers"]
+            if w["worker"] == "healthy"]
+    assert row["reclaimed"] == 1
+
+
+def test_backend_baselines_stale_beacon_reclaims(tmp_path):
+    # Beacons persist across sweeps of a reused fleet directory: a
+    # fresh driver must not inherit a previous run's takeover counts.
+    (tmp_path / WORKERS_DIR).mkdir(parents=True)
+    (tmp_path / WORKERS_DIR / "old.json").write_text(json.dumps(
+        {"worker": "old", "renewed": 0.0, "reclaimed": 7}))
+    backend = FleetBackend(tmp_path, ttl_s=1.0, poll_s=0.02)
+    assert backend.lease_reclaims == 0
 
 
 def test_remote_job_error_is_a_structured_failure(tmp_path):
