@@ -18,6 +18,7 @@ from repro.perf.bench import (
     _bench_metro_smoke,
     _bench_scheduler,
     _bench_subframe_loop,
+    _bench_transport_batch,
 )
 from repro.phy.dci import DciMessage, SubframeRecord
 
@@ -75,6 +76,20 @@ def test_dci_batch_ingest(benchmark):
     print(f"\ndci batch: {result['batch_rows_per_s']:,.0f} rows/s "
           f"({result['speedup']:g}x scalar)")
     assert result["subframes"] == 10_000
+
+
+def test_transport_batch_ack_clock(benchmark):
+    """Columnar per-ACK transport vs the scalar per-packet reference.
+
+    End-state equality is asserted inside the bench body; the block
+    loop must never be slower than per-packet delivery.
+    """
+    result = benchmark.pedantic(
+        _bench_transport_batch, kwargs={"sim_s": 1.0},
+        rounds=1, iterations=1)
+    print(f"\ntransport batch: {result['batch_acks_per_s']:,.0f} acks/s "
+          f"({result['speedup']:g}x scalar)")
+    assert result["acks"] > 0
 
 
 def test_subframe_loop_ticks(benchmark):

@@ -19,7 +19,7 @@ from typing import Any, Callable, Optional
 
 from ..net.flow import FlowStats
 from ..net.link import Receiver
-from ..net.packet import Packet
+from ..net.packet import AckBatch, Packet
 from ..net.sim import Event, Simulator
 from ..net.units import MSS_BITS, US_PER_S
 
@@ -44,6 +44,10 @@ class AckContext:
     inflight_bits: int
     #: Whether the rate sample was taken while application-limited.
     app_limited: bool
+    #: The sender's smoothed RTT *after* folding in this ACK's sample.
+    #: Schemes that want an srtt must read this instead of re-filtering
+    #: ``rtt_us`` themselves, so the two estimates cannot drift.
+    srtt_us: int = 0
 
 
 class CongestionControl:
@@ -54,6 +58,20 @@ class CongestionControl:
 
     def on_ack(self, ctx: AckContext) -> None:
         """Process one acknowledgement."""
+
+    def on_ack_block(self, contexts: list[AckContext]) -> None:
+        """Process one grant cycle's worth of acknowledgements.
+
+        The columnar transport engine hands each uplink burst to the
+        controller as a block.  The default is the sequential
+        :meth:`on_ack` loop — byte-identical to scalar delivery, with
+        the method dispatch hoisted out of the loop — so every scheme
+        works unmodified; schemes with genuinely vectorizable state may
+        override.
+        """
+        on_ack = self.on_ack
+        for ctx in contexts:
+            on_ack(ctx)
 
     def on_send(self, packet: Packet) -> None:
         """Hook invoked for every transmitted packet (may tag metadata)."""
@@ -246,7 +264,8 @@ class Sender(Receiver):
         ctx = AckContext(ack=packet, now_us=now, rtt_us=rtt,
                          delivery_rate_bps=rate, newly_acked_bits=bits,
                          inflight_bits=self.inflight_bits,
-                         app_limited=packet.app_limited)
+                         app_limited=packet.app_limited,
+                         srtt_us=self.srtt_us)
         self.cc.on_ack(ctx)
         if self.on_ack_hook is not None:
             self.on_ack_hook(packet)
@@ -256,24 +275,150 @@ class Sender(Receiver):
         if self._running and not self._pacing_active:
             self._schedule_pacing(0)
 
+    def receive_batch(self, batch: AckBatch) -> None:
+        """Process one grant cycle's ACK burst as a block.
+
+        Semantically equivalent to calling :meth:`receive` once per
+        packet in flush order — the per-ACK bookkeeping below mirrors
+        that method step for step — but with the loop-invariant work
+        hoisted: sender state lives in locals across the burst, the
+        congestion controller sees the burst through one
+        :meth:`CongestionControl.on_ack_block` call instead of N
+        dispatches, and the RTO/pacing timers are touched once per
+        block instead of once per ACK.
+
+        Three guards route back to the scalar path: a mixed batch
+        (non-ACK or foreign-flow packets — only same-flow ACKs have the
+        uniform shape the columns assume), a foreign ``flow_id``, and
+        an installed ``on_ack_hook`` (hooks observe per-ACK
+        interleaving the block deliberately elides).
+
+        Timer equivalence: the RTO event is *created* in-loop at the
+        first processed ACK, exactly where the scalar path creates it,
+        so its heap sequence number is in the same relative position;
+        subsequent per-ACK deadline writes are deferred to one
+        :meth:`_arm_rto` at block end (a stale firing re-arms for the
+        remainder, so only the final deadline is observable).  The
+        pacing-resume check moves to block end because
+        ``_pacing_active`` is only ever mutated by ``_pace``, which
+        cannot fire mid-block — the last ACK's reschedule is the only
+        one that survives in scalar mode anyway.
+        """
+        if (batch.mixed or batch.flow_id != self.flow_id
+                or self.on_ack_hook is not None):
+            receive = self.receive
+            for packet in batch.packets:
+                receive(packet)
+            return
+
+        now = self.sim.now
+        outstanding = self._outstanding
+        packets = batch.packets
+        acked_seqs = batch.acked_seq
+        sent_times = batch.sent_time_us
+        das = batch.delivered_at_send
+        dtas = batch.delivered_time_at_send
+        app_limiteds = batch.app_limited
+
+        # Hoisted sender state (written back before any CC callback).
+        srtt = self.srtt_us
+        min_rtt = self.min_rtt_us
+        delivered = self.delivered_bits
+        highest = self.highest_acked
+        acked_count = 0
+        pending: list[AckContext] = []
+
+        def flush_pending() -> None:
+            # Publish hoisted state, then hand the contexts accumulated
+            # so far to the controller — it must observe the same
+            # sender state it would have mid-scalar-loop.
+            self.srtt_us = srtt
+            self.min_rtt_us = min_rtt
+            self.delivered_bits = delivered
+            self.delivered_time_us = now
+            self.highest_acked = highest
+            if pending:
+                self.cc.on_ack_block(pending)
+                pending.clear()
+
+        for i in range(len(packets)):
+            entry = outstanding.pop(acked_seqs[i], None)
+            if entry is None:
+                continue  # spurious/duplicate ACK
+            bits, _sent = entry
+            self.inflight_bits -= bits
+            acked_count += 1
+            acked = acked_seqs[i]
+            if acked > highest:
+                highest = acked
+
+            rtt = now - sent_times[i]
+            if rtt > 0:
+                srtt = (rtt if srtt == 0
+                        else round(0.875 * srtt + 0.125 * rtt))
+                if min_rtt is None or rtt < min_rtt:
+                    min_rtt = rtt
+
+            delivered += bits
+            interval = now - dtas[i]
+            if interval > 0:
+                rate = (delivered - das[i]) * US_PER_S / interval
+            else:
+                rate = 0.0
+
+            lost_bits = self._scan_losses(highest)
+            if lost_bits:
+                # cc.on_loss must see every prior ACK first, exactly as
+                # the scalar interleaving would deliver them.
+                flush_pending()
+                self.cc.on_loss(now, lost_bits, self.inflight_bits)
+            pending.append(AckContext(
+                ack=packets[i], now_us=now, rtt_us=rtt,
+                delivery_rate_bps=rate, newly_acked_bits=bits,
+                inflight_bits=self.inflight_bits,
+                app_limited=app_limiteds[i], srtt_us=srtt))
+            if (self._rto_event is None and self._running
+                    and outstanding):
+                # Scalar creates the timer during this ACK's receive;
+                # match its heap position (deadline refreshed at end).
+                delay = (MIN_RTO_US if srtt == 0
+                         else max(MIN_RTO_US, 4 * srtt))
+                self._rto_deadline_us = now + delay
+                self._rto_event = self.sim.schedule(delay, self._on_rto)
+
+        if not acked_count and not pending:
+            return
+        flush_pending()
+        self.acked_packets += acked_count
+        self._arm_rto()
+        if self._running and not self._pacing_active:
+            self._schedule_pacing(0)
+
     def _detect_losses(self) -> None:
         """Declare head-of-line packets lost once enough later ACKs."""
+        lost_bits = self._scan_losses(self.highest_acked)
+        if lost_bits:
+            self.cc.on_loss(self.sim.now, lost_bits, self.inflight_bits)
+
+    def _scan_losses(self, highest_acked: int) -> int:
+        """Pop head-of-line packets now considered lost; return bits."""
         lost_bits = 0
-        while self._send_order:
-            seq = self._send_order[0]
-            if seq not in self._outstanding:
-                self._send_order.popleft()
+        outstanding = self._outstanding
+        send_order = self._send_order
+        while send_order:
+            seq = send_order[0]
+            if seq not in outstanding:
+                send_order.popleft()
                 continue
-            if self.highest_acked - seq >= DUPACK_THRESHOLD:
-                bits, _ = self._outstanding.pop(seq)
-                self._send_order.popleft()
+            if highest_acked - seq >= DUPACK_THRESHOLD:
+                bits, _ = outstanding.pop(seq)
+                send_order.popleft()
                 self.inflight_bits -= bits
                 self.lost_packets += 1
                 lost_bits += bits
             else:
                 break
-        if lost_bits:
-            self.cc.on_loss(self.sim.now, lost_bits, self.inflight_bits)
+        return lost_bits
 
     # ------------------------------------------------------------------
     # Timeout handling

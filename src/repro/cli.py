@@ -525,6 +525,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ["dci_batch", benches["dci_batch"]["batch_wall_s"],
          f'{benches["dci_batch"]["batch_rows_per_s"]:,.0f} rows/s '
          f'({benches["dci_batch"]["speedup"]:g}x scalar)'],
+        ["transport_batch", benches["transport_batch"]["batch_wall_s"],
+         f'{benches["transport_batch"]["batch_acks_per_s"]:,.0f} acks/s '
+         f'({benches["transport_batch"]["speedup"]:g}x scalar)'],
         ["subframe_loop", loop["wall_s"],
          f'{loop["ticks_per_s"]:,.0f} ticks/s '
          f'({loop["sim_s"]:g} sim-s)'],

@@ -102,10 +102,13 @@ class PbeClient(AckingReceiver):
         srtt = packet.meta.get("srtt_us", 0)
         return srtt if srtt > 0 else self.default_rtprop_us
 
+    def _prune_recent(self, horizon_us: int) -> None:
+        recent = self._recent
+        while recent and recent[0][0] < horizon_us:
+            self._recent_bits -= recent.popleft()[1]
+
     def _receive_rate_bps(self, now_us: int, window_us: int) -> float:
-        horizon = now_us - window_us
-        while self._recent and self._recent[0][0] < horizon:
-            self._recent_bits -= self._recent.popleft()[1]
+        self._prune_recent(now_us - window_us)
         bits = self._recent_bits
         return bits * US_PER_S / window_us if window_us > 0 else 0.0
 
@@ -129,6 +132,11 @@ class PbeClient(AckingReceiver):
         self._recent_bits += packet.size_bits
 
         rtprop_us = self._rtprop_us(packet)
+        # Keep the receive-rate window bounded on *every* packet.  It
+        # used to be pruned only on the Internet-bottleneck branch
+        # below, so a flow that stayed wireless-bottlenecked grew the
+        # deque by one entry per packet for the whole run.
+        self._prune_recent(now - rtprop_us)
         rtprop_subframes = max(1, rtprop_us // 1_000)
         # The UE's subframe clock keeps ticking even when the decoder
         # is dark — pass it so the report carries a staleness signal.

@@ -203,10 +203,12 @@ class PbeSender(CongestionControl):
         now = ctx.now_us
         if self._first_ack_us is None:
             self._first_ack_us = now
-        if ctx.rtt_us > 0:
-            self._srtt_us = (ctx.rtt_us if self._srtt_us == 0 else
-                             round(0.875 * self._srtt_us
-                                   + 0.125 * ctx.rtt_us))
+        # The transport layer already runs the standard EWMA srtt filter
+        # over every ACK; adopt its estimate instead of re-deriving one
+        # in parallel (the two filters used to run side by side and
+        # could only stay equal by construction — now they cannot
+        # drift by definition).
+        self._srtt_us = ctx.srtt_us
         self.bbr.on_ack(ctx)
 
         feedback = ctx.ack.feedback
@@ -258,6 +260,16 @@ class PbeSender(CongestionControl):
             self._switch(WIRELESS, now)
         elif self.state == STARTUP and self._ramp_progress(now) >= 1.0:
             self._switch(WIRELESS, now)
+
+    def on_ack_block(self, contexts: list[AckContext]) -> None:
+        # PBE's control is a sequential state machine (every ACK can
+        # flip the bottleneck state that reshapes how the next one is
+        # interpreted), so the block path is the hoisted scalar loop —
+        # the base-class fallback, restated here to make the choice
+        # explicit and pin it under test.
+        on_ack = self.on_ack
+        for ctx in contexts:
+            on_ack(ctx)
 
     def on_timeout(self, now_us: int) -> None:
         self.bbr.on_timeout(now_us)

@@ -78,7 +78,7 @@ from ..monitor.filters import ActiveUserFilter, UserActivity, _SubframeUsers
 from ..monitor.pbe import MonitorReport, PbeMonitor
 from ..net.flow import FlowStats
 from ..net.link import BatchingPipe, DelayPipe, FlowDemux, Link
-from ..net.packet import Packet
+from ..net.packet import AckBatch, Packet
 from ..net.sim import Event, Simulator
 from ..net.units import SUBFRAME_US
 from ..phy.carrier import AggregationState
@@ -124,7 +124,7 @@ DEFAULT_WALL_BUDGET = 0.02
 #: block queued for HARQ retransmission and parked in a reordering
 #: buffer decodes back to one shared object).
 _IDENTITY = (Packet, TransportBlock, PbeFeedback, DciMessage,
-             SubframeRecord)
+             SubframeRecord, AckBatch)
 
 #: Classes restored through the generic attribute walker.
 _STATE = (

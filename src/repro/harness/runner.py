@@ -251,15 +251,20 @@ class Experiment:
                      **spec.cc_kwargs)
         sender = Sender(sim, flow_id=spec.rnti, cc=cc, egress=egress,
                         app_rate_bps=spec.app_rate_bps)
+        # ACK-impaired flows run the scalar per-packet reference path,
+        # mirroring the decoder rule below: the injector's semantics are
+        # defined against the per-event stream.
+        fault_spec = spec.fault_spec()
+        ack_batched = self.batched and not (
+            fault_spec is not None and fault_spec.impairs_pipe)
         batching = BatchingPipe(
             sim, sender, scenario.uplink_delay_us,
             batch_interval_us=scenario.uplink_batch_us,
-            name=f"uplink-{spec.rnti}")
+            name=f"uplink-{spec.rnti}", batched=ack_batched)
         uplink: Receiver = batching
 
         # Reverse-path fault injection sits between the phone and the
         # LTE uplink batching stage (any scheme can be impaired).
-        fault_spec = spec.fault_spec()
         impaired_pipe: Optional[ImpairedPipe] = None
         if fault_spec is not None and fault_spec.impairs_pipe:
             impaired_pipe = ImpairedPipe(

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from .packet import Packet
+from .packet import AckBatch, Packet
 from .sim import Simulator
 from .units import transmission_time_us
 
@@ -60,13 +60,23 @@ class BatchingPipe(Receiver):
     this, but sender-side RTT/delay estimators do (it is a major source
     of the "ACK delay, ACK compression" problems §2 attributes to
     delay-based schemes on cellular paths).
+
+    With ``batched=True`` each flush delivers the whole burst as **one**
+    scheduled event carrying an :class:`AckBatch`, handed to the sink's
+    ``receive_batch`` method when it has one (per-packet ``receive``
+    loop otherwise).  Scalar same-instant deliveries form a contiguous
+    run of event sequence numbers with nothing interleaved between
+    them, so collapsing the run into a single event only relabels
+    subsequent sequence numbers uniformly — relative event order, and
+    therefore behaviour, is unchanged (pinned by the
+    ``repro.harness.fingerprint`` byte-identity suite).
     """
 
     SNAPSHOT_SKIP = ("sim", "sink")
 
     def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
                  batch_interval_us: int = 5_000,
-                 name: str = "uplink") -> None:
+                 name: str = "uplink", batched: bool = False) -> None:
         if delay_us < 0:
             raise ValueError("delay must be non-negative")
         if batch_interval_us < 1:
@@ -76,6 +86,7 @@ class BatchingPipe(Receiver):
         self.delay_us = delay_us
         self.batch_interval_us = batch_interval_us
         self.name = name
+        self.batched = batched
         self._held: list[Packet] = []
         self.forwarded = 0
         self.batches = 0
@@ -83,18 +94,37 @@ class BatchingPipe(Receiver):
     def receive(self, packet: Packet) -> None:
         packet.hops += 1
         if not self._held:
-            # Align the flush to the next grant boundary.
-            interval = self.batch_interval_us
-            wait = interval - (self.sim.now % interval)
+            # Align the flush to the next grant boundary.  A packet
+            # landing exactly on a boundary rides that grant (wait 0),
+            # not the next one a full cycle later.
+            wait = -self.sim.now % self.batch_interval_us
             self.sim.schedule(wait, self._flush)
         self._held.append(packet)
 
     def _flush(self) -> None:
         batch, self._held = self._held, []
         self.batches += 1
-        for packet in batch:
-            self.forwarded += 1
-            self.sim.schedule(self.delay_us, self.sink.receive, packet)
+        n = len(batch)
+        self.forwarded += n
+        if self.batched and n > 1:
+            perf = self.sim.perf
+            if perf is not None:
+                perf.ack_batches += 1
+                perf.acks_batched += n
+            self.sim.schedule(self.delay_us, self._deliver,
+                              AckBatch.from_packets(batch))
+        else:
+            for packet in batch:
+                self.sim.schedule(self.delay_us, self.sink.receive, packet)
+
+    def _deliver(self, batch: AckBatch) -> None:
+        receive_batch = getattr(self.sink, "receive_batch", None)
+        if receive_batch is not None:
+            receive_batch(batch)
+        else:
+            receive = self.sink.receive
+            for packet in batch.packets:
+                receive(packet)
 
 
 class Link(Receiver):
@@ -124,6 +154,9 @@ class Link(Receiver):
 
         self._queue: deque[Packet] = deque()
         self._transmitting = False
+        #: Absolute time the in-progress serialization completes (only
+        #: meaningful while ``_transmitting``).
+        self._tx_end_us = 0
 
         self.forwarded = 0
         self.dropped = 0
@@ -135,9 +168,18 @@ class Link(Receiver):
         return len(self._queue)
 
     def queue_delay_estimate_us(self, size_bits: int) -> int:
-        """Rough serialization delay a new arrival of ``size_bits`` sees."""
+        """Rough serialization delay a new arrival of ``size_bits`` sees.
+
+        Counts the queued backlog, the arrival itself, *and* the
+        remainder of the packet currently on the wire — the queue
+        alone under-reports by up to one full serialization time at
+        exactly the moment the link is busiest.
+        """
         backlog = sum(p.size_bits for p in self._queue) + size_bits
-        return transmission_time_us(backlog, self.rate_bps)
+        estimate = transmission_time_us(backlog, self.rate_bps)
+        if self._transmitting:
+            estimate += max(0, self._tx_end_us - self.sim.now)
+        return estimate
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
@@ -156,6 +198,7 @@ class Link(Receiver):
         self._transmitting = True
         packet = self._queue.popleft()
         tx_us = transmission_time_us(packet.size_bits, self.rate_bps)
+        self._tx_end_us = self.sim.now + tx_us
         self.sim.schedule(tx_us, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:

@@ -71,3 +71,70 @@ class Packet:
         kind = "ACK" if self.is_ack else "DATA"
         return (f"<{kind} flow={self.flow_id} seq={self.seq} "
                 f"bits={self.size_bits}>")
+
+
+class AckBatch:
+    """Struct-of-arrays view of one uplink grant cycle's ACKs.
+
+    The LTE uplink releases ACKs in bursts (see
+    :class:`repro.net.link.BatchingPipe`); the batched transport engine
+    delivers each burst as **one** scheduled event carrying this
+    container instead of N per-packet ``sink.receive`` events.  The
+    sender-side fields every ACK-clocking step needs are unpacked into
+    parallel columns once, at flush time, so
+    :meth:`repro.baselines.base.Sender.receive_batch` can run its
+    per-ACK loop over plain list indexing instead of repeated attribute
+    loads.
+
+    ``packets`` keeps the original objects (congestion controllers see
+    the real ACK in their :class:`AckContext`, and checkpoint restore
+    re-aliases them); the columns are a read-only projection.  ``mixed``
+    flags a batch holding anything other than same-flow ACKs — the
+    transport core routes such batches through the scalar per-packet
+    path rather than guessing.
+    """
+
+    __slots__ = ("flow_id", "packets", "acked_seq", "sent_time_us",
+                 "size_bits", "delivered_at_send",
+                 "delivered_time_at_send", "app_limited", "mixed")
+
+    def __init__(self, flow_id: int, packets: list["Packet"],
+                 acked_seq: list, sent_time_us: list, size_bits: list,
+                 delivered_at_send: list, delivered_time_at_send: list,
+                 app_limited: list, mixed: bool) -> None:
+        self.flow_id = flow_id
+        self.packets = packets
+        self.acked_seq = acked_seq
+        self.sent_time_us = sent_time_us
+        self.size_bits = size_bits
+        self.delivered_at_send = delivered_at_send
+        self.delivered_time_at_send = delivered_time_at_send
+        self.app_limited = app_limited
+        self.mixed = mixed
+
+    @classmethod
+    def from_packets(cls, packets: list["Packet"]) -> "AckBatch":
+        """Columnarize one flush's packets (single pass)."""
+        flow_id = packets[0].flow_id
+        acked_seq, sent_time_us, size_bits = [], [], []
+        delivered_at_send, delivered_time_at_send = [], []
+        app_limited = []
+        mixed = False
+        for p in packets:
+            if not p.is_ack or p.flow_id != flow_id:
+                mixed = True
+            acked_seq.append(p.acked_seq)
+            sent_time_us.append(p.sent_time_us)
+            size_bits.append(p.size_bits)
+            delivered_at_send.append(p.delivered_at_send)
+            delivered_time_at_send.append(p.delivered_time_at_send)
+            app_limited.append(p.app_limited)
+        return cls(flow_id, packets, acked_seq, sent_time_us, size_bits,
+                   delivered_at_send, delivered_time_at_send,
+                   app_limited, mixed)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AckBatch flow={self.flow_id} n={len(self.packets)}>"

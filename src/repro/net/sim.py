@@ -157,9 +157,11 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         perf = self.perf
+        # One comparison per pop instead of a None check + comparison.
+        limit = float("inf") if until_us is None else until_us
         while heap and self._running:
             entry = heap[0]
-            if until_us is not None and entry[0] > until_us:
+            if entry[0] > limit:
                 break
             heappop(heap)
             event = entry[2]

@@ -53,14 +53,18 @@ class PerfCounters:
     ``heap_compactions``
         times the simulator rebuilt its heap to evict cancelled
         entries (see :meth:`Simulator.schedule`'s lazy deletion).
+    ``ack_batches`` / ``acks_batched``
+        grant-cycle flushes the columnar transport engine delivered as
+        one :class:`~repro.net.packet.AckBatch` event, and how many
+        ACKs rode in them (single-ACK flushes stay scalar).
     ``timers``
         ``{subsystem: seconds}`` wall time, populated only with
         ``time_subsystems=True``.
     """
 
     __slots__ = ("ticks", "events_popped", "events_cancelled_popped",
-                 "events_scheduled", "heap_compactions", "timers",
-                 "time_subsystems", "_t0")
+                 "events_scheduled", "heap_compactions", "ack_batches",
+                 "acks_batched", "timers", "time_subsystems", "_t0")
 
     def __init__(self, time_subsystems: bool = False) -> None:
         self.time_subsystems = time_subsystems
@@ -73,6 +77,8 @@ class PerfCounters:
         self.events_cancelled_popped = 0
         self.events_scheduled = 0
         self.heap_compactions = 0
+        self.ack_batches = 0
+        self.acks_batched = 0
         self.timers: dict[str, float] = {}
         self._t0 = time.perf_counter()
 
@@ -116,6 +122,8 @@ class PerfCounters:
             "events_cancelled_popped": self.events_cancelled_popped,
             "events_scheduled": self.events_scheduled,
             "heap_compactions": self.heap_compactions,
+            "ack_batches": self.ack_batches,
+            "acks_batched": self.acks_batched,
             "cancelled_event_ratio": round(self.cancelled_event_ratio, 6),
             "timers_s": {k: round(v, 6)
                          for k, v in sorted(self.timers.items())},

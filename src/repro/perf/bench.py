@@ -1,6 +1,6 @@
 """Hot-path benchmark suite → ``BENCH_hotpath.json``.
 
-Seven benches cover the measured hot paths of the subframe loop, from
+Eight benches cover the measured hot paths of the subframe loop, from
 micro to macro:
 
 ``estimator``
@@ -19,6 +19,12 @@ micro to macro:
     :class:`~repro.monitor.pbe.PbeMonitor` ingest of a busy cell's
     control channel: per-record reference path versus the columnar
     :class:`~repro.phy.dci.SubframeBatch` fold.
+``transport_batch``
+    sender-side ACK clocking over a grant-cycle uplink: the scalar
+    per-packet :meth:`Sender.receive` path versus the columnar
+    :meth:`Sender.receive_batch` block loop fed one
+    :class:`~repro.net.packet.AckBatch` per flush.  The two end states
+    are asserted equal; the headline is the speedup.
 ``subframe_loop``
     a busy 2-carrier cell with a PBE flow and background users,
     reported as subframes (ticks) per wall second via
@@ -32,7 +38,7 @@ micro to macro:
     idle-cell fast-forward exists for; its headline is the speedup.
 
 ``run_benchmarks`` returns a JSON-ready dict (schema
-``repro.perf/bench_hotpath/v3``).  ``python -m repro perf`` writes it
+``repro.perf/bench_hotpath/v4``).  ``python -m repro perf`` writes it
 to disk; ``python -m repro perf --compare OLD.json NEW.json`` diffs
 two such documents.  CI records the file as an artifact and
 soft-compares against the committed baseline so regressions show up
@@ -53,8 +59,9 @@ from . import PerfCounters
 
 #: Version tag of the emitted document.  v2 added the
 #: ``channel_block`` and ``dci_batch`` microbenches; v3 added the
-#: ``metro_smoke`` macrobench.
-SCHEMA = "repro.perf/bench_hotpath/v3"
+#: ``metro_smoke`` macrobench; v4 added the ``transport_batch``
+#: microbench for the columnar per-ACK transport core.
+SCHEMA = "repro.perf/bench_hotpath/v4"
 
 
 def _bench_estimator(n_subframes: int) -> dict:
@@ -191,6 +198,58 @@ def _bench_dci_batch(n_subframes: int) -> dict:
     }
 
 
+def _bench_transport_batch(sim_s: float) -> dict:
+    """Scalar vs columnar per-ACK transport over a grant-cycle uplink.
+
+    A fixed-rate sender drives a clean loss-free loop: data through a
+    propagation pipe to an :class:`AckingReceiver`, ACKs back through a
+    :class:`BatchingPipe` (5 ms grant cycle) into the sender.  The only
+    variable is the pipe's ``batched`` flag — one :class:`AckBatch`
+    event per flush into :meth:`Sender.receive_batch` versus one
+    scheduled ``receive`` per ACK.  End states must agree exactly.
+    """
+    from ..baselines.base import AckingReceiver, Sender
+    from ..baselines.fixedrate import FixedRate
+    from ..net.link import BatchingPipe, DelayPipe
+    from ..net.sim import Simulator
+    from ..net.units import us_from_seconds
+
+    walls = {}
+    states = {}
+    for mode, batched in (("scalar", False), ("batch", True)):
+        sim = Simulator()
+        sender = Sender(sim, flow_id=1, cc=FixedRate(rate_bps=120e6),
+                        egress=None)
+        uplink = BatchingPipe(sim, sender, delay_us=2_000,
+                              batch_interval_us=5_000, batched=batched)
+        receiver = AckingReceiver(sim, 1, uplink)
+        sender.egress = DelayPipe(sim, receiver, delay_us=6_000)
+        sender.start()
+        end_us = us_from_seconds(sim_s)
+        sim.schedule(end_us, sender.stop)
+        t0 = time.perf_counter()
+        sim.run(until_us=end_us + 100_000)
+        walls[mode] = time.perf_counter() - t0
+        states[mode] = (sender.acked_packets, sender.srtt_us,
+                        sender.min_rtt_us, sender.delivered_bits,
+                        sender.delivered_time_us, sender.highest_acked)
+    if states["batch"] != states["scalar"]:
+        raise AssertionError("transport_batch: batched and scalar end "
+                             "states differ")
+    acks = states["batch"][0]
+    return {
+        "acks": acks, "sim_s": sim_s,
+        "scalar_wall_s": round(walls["scalar"], 6),
+        "batch_wall_s": round(walls["batch"], 6),
+        "scalar_acks_per_s": (round(acks / walls["scalar"], 1)
+                              if walls["scalar"] else 0.0),
+        "batch_acks_per_s": (round(acks / walls["batch"], 1)
+                             if walls["batch"] else 0.0),
+        "speedup": (round(walls["scalar"] / walls["batch"], 2)
+                    if walls["batch"] else 0.0),
+    }
+
+
 def _bench_subframe_loop(duration_s: float) -> dict:
     """Busy 2-carrier cell + PBE flow; ticks per wall second."""
     from ..harness import Experiment, FlowSpec, Scenario
@@ -281,6 +340,8 @@ def run_benchmarks(smoke: bool = False,
     channel_block = _bench_channel_block(10_000 if smoke else 100_000)
     say("dci-batch bench...")
     dci_batch = _bench_dci_batch(5_000 if smoke else 50_000)
+    say("transport-batch bench...")
+    transport_batch = _bench_transport_batch(0.5 if smoke else 5.0)
     say("subframe-loop bench...")
     loop = _bench_subframe_loop(1.0 if smoke else 6.0)
     say("end-to-end sweep bench...")
@@ -300,6 +361,7 @@ def run_benchmarks(smoke: bool = False,
             "scheduler": scheduler,
             "channel_block": channel_block,
             "dci_batch": dci_batch,
+            "transport_batch": transport_batch,
             "subframe_loop": loop,
             "sweep": sweep,
             "metro_smoke": metro_smoke,
@@ -314,6 +376,7 @@ _HEADLINE = {
     "scheduler": ("calls_per_s", True),
     "channel_block": ("block_subframes_per_s", True),
     "dci_batch": ("batch_rows_per_s", True),
+    "transport_batch": ("speedup", True),
     "subframe_loop": ("ticks_per_s", True),
     "sweep": ("wall_s", False),
     "metro_smoke": ("speedup", True),

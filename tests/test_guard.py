@@ -73,7 +73,8 @@ def test_guarded_sender_ignores_inflated_reports():
         cc.on_ack(AckContext(ack=ack, now_us=t, rtt_us=40_000,
                              delivery_rate_bps=30e6,
                              newly_acked_bits=12_000,
-                             inflight_bits=120_000, app_limited=False))
+                             inflight_bits=120_000, app_limited=False,
+                             srtt_us=40_000))
         t += 10_000
     assert cc.guard.flagged
     assert cc.pacing_rate_bps(t) < 2 * 30e6 * 1.25

@@ -78,7 +78,19 @@ def test_link_queue_depth_and_estimate():
     # One being transmitted, three queued.
     assert link.queue_depth == 3
     est = link.queue_delay_estimate_us(12_000)
-    assert est == 4_000  # 3 queued + the new one, 1 ms each
+    # 3 queued + the new one + the untransmitted remainder of the
+    # in-flight packet, 1 ms each.
+    assert est == 5_000
+
+
+def test_link_estimate_counts_inflight_remainder():
+    sim = Simulator()
+    link = Link(sim, PacketSink(sim), rate_bps=12e6, delay_us=0)
+    link.receive(_packet(0))  # serializes over [0, 1000) µs
+    assert link.queue_delay_estimate_us(12_000) == 2_000
+    # Halfway through serialization only half the packet remains.
+    sim.run(until_us=500)
+    assert link.queue_delay_estimate_us(12_000) == 1_000 + 500
 
 
 def test_link_rejects_bad_config():

@@ -58,6 +58,24 @@ def test_acks_carry_pbe_feedback():
     assert not fb.internet_bottleneck
 
 
+def test_receive_rate_window_stays_bounded_in_wireless_state():
+    """Regression: the receive-rate deque was appended on every packet
+    but only pruned on the Internet-state branch, so a flow that stayed
+    wireless-bottlenecked grew it by one entry per packet forever."""
+    sim = Simulator()
+    client, monitor, _ = _client(sim)
+    for sf in range(40):
+        _feed_monitor(monitor, sf)
+    srtt_us = 40_000
+    n = 2_000
+    _deliver(sim, client, delay_us=20_000, n=n, srtt_us=srtt_us)
+    assert client.state == WIRELESS            # never left wireless
+    # Entries older than one RTprop are pruned on every feedback call:
+    # at 1 ms spacing the window holds ~srtt/gap entries, not n.
+    assert len(client._recent) <= srtt_us // 1_000 + 1
+    assert client._recent_bits == sum(b for _, b in client._recent)
+
+
 def test_dprop_tracks_minimum():
     sim = Simulator()
     client, monitor, _ = _client(sim)

@@ -21,9 +21,12 @@ from repro.net.units import US_PER_S
 def _ack(now_us, feedback, rtt_us=40_000, rate_bps=50e6):
     ack = Packet(1, 0, is_ack=True)
     ack.feedback = feedback
+    # srtt_us mirrors what Sender's EWMA filter yields for a constant
+    # rtt stream (PbeSender adopts the transport srtt from the ctx).
     return AckContext(ack=ack, now_us=now_us, rtt_us=rtt_us,
                       delivery_rate_bps=rate_bps, newly_acked_bits=12_000,
-                      inflight_bits=120_000, app_limited=False)
+                      inflight_bits=120_000, app_limited=False,
+                      srtt_us=rtt_us)
 
 
 def _fb(target=50e6, fair=50e6, internet=False, activated=False):
