@@ -12,6 +12,7 @@ from repro.cell.scheduler import DemandEntry, allocate_prbs
 from repro.monitor.capacity import CellCapacityEstimator
 from repro.perf import PerfCounters
 from repro.perf.bench import (
+    _bench_cc_block,
     _bench_channel_block,
     _bench_dci_batch,
     _bench_estimator,
@@ -90,6 +91,21 @@ def test_transport_batch_ack_clock(benchmark):
     print(f"\ntransport batch: {result['batch_acks_per_s']:,.0f} acks/s "
           f"({result['speedup']:g}x scalar)")
     assert result["acks"] > 0
+
+
+def test_cc_block_scheme_loops(benchmark):
+    """Per-scheme columnar on_ack_block vs the scalar on_ack loop.
+
+    Decision equality is asserted inside the bench body; the block
+    paths must never be slower than the sequential reference.
+    """
+    result = benchmark.pedantic(
+        _bench_cc_block, kwargs={"n_blocks": 1_000},
+        rounds=1, iterations=1)
+    print(f"\ncc block: {result['block_contexts_per_s']:,.0f} acks/s "
+          f"({result['speedup']:g}x scalar)")
+    assert result["speedup"] > 0
+    assert set(result["schemes"]) == {"pbe", "bbr", "cubic", "copa"}
 
 
 def test_subframe_loop_ticks(benchmark):

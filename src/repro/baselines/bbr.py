@@ -133,6 +133,188 @@ class Bbr(CongestionControl):
         if self.state == PROBE_RTT:
             self._run_probe_rtt(now, ctx.inflight_bits, round_ended)
 
+    def on_ack_block(self, contexts: list[AckContext]) -> None:
+        """Columnar BBR over one grant cycle's ACKs, byte-identical.
+
+        Fast-path precondition: one flush event (every context shares
+        ``now_us``), a warm RTprop filter whose head sample neither
+        expires at ``now`` nor is undercut by any RTT in the block, and
+        a cache in sync with that head.  Under it the RTprop minimum —
+        and therefore the BtlBw window and the BDP's rtprop factor —
+        are *block constants*, so both filters collapse to per-block
+        aggregates: a running min/max in locals for the intermediate
+        cache reads, plus **one** deque insert of the block extreme at
+        the end.  (Sequential inserts of the non-extreme samples only
+        add tail entries that share the block's timestamp and are
+        dominated by the extreme — they expire in the same instant the
+        extreme does and can never surface as the filter output, so
+        eliding them is unobservable; decisions and cached outputs are
+        pinned equal by ``tests/test_cc_block.py``.)  The round
+        accounting and the full state machine run inlined on hoisted
+        locals with a single write-back.
+
+        Startup transients (cold filter, a new minimum, an expiring
+        head) take the scalar loop — exactly PR 9's hoisted reference.
+        """
+        if len(contexts) == 1:
+            self.on_ack(contexts[0])
+            return
+        now = contexts[0].now_us
+        rt_samples = self._rtprop._samples
+        if (contexts[-1].now_us != now or not rt_samples
+                or rt_samples[0][0] < now - RTPROP_WINDOW_US
+                or self.rtprop_us != int(rt_samples[0][1])):
+            on_ack = self.on_ack
+            for ctx in contexts:
+                on_ack(ctx)
+            return
+        rt_head = rt_samples[0][1]
+        block_min = None  # min RTT once per AckBatch, not per ACK
+        for ctx in contexts:
+            rtt = ctx.rtt_us
+            if rtt > 0 and (block_min is None or rtt < block_min):
+                block_min = rtt
+        if block_min is not None and block_min < rt_head:
+            on_ack = self.on_ack  # new minimum: scalar reference
+            for ctx in contexts:
+                on_ack(ctx)
+            return
+
+        # ---- Block constants ------------------------------------------
+        rtprop_cache = self.rtprop_us          # cannot move this block
+        rtprop_floor = max(rtprop_cache, 1_000)
+        bt_filter = self._btlbw
+        bt_filter.window_us = BTLBW_FILTER_ROUNDS * rtprop_floor
+        bt_samples = bt_filter._samples
+        mss_bits = self.mss_bits
+        probe_rtt_floor = 4 * mss_bits
+
+        # ---- Hoisted state --------------------------------------------
+        delivered = self._delivered_bits
+        round_start_delivered = self._round_start_delivered
+        round_count = self._round_count
+        rtprop_stamp = self._rtprop_stamp
+        btlbw_cache = self.btlbw_bps
+        bw_run = None          # running max once the filter is touched
+        block_rate_max = None  # max delivery-rate sample this batch
+        full_bw = self._full_bw
+        full_bw_rounds = self._full_bw_rounds
+        filled_pipe = self.filled_pipe
+        state = self.state
+        pacing_gain = self.pacing_gain
+        cwnd_gain = self.cwnd_gain
+        cycle_index = self._cycle_index
+        cycle_stamp = self._cycle_stamp
+        probe_rtt_done_at = self._probe_rtt_done_at
+        bdp = (btlbw_cache * rtprop_cache / US_PER_S
+               if btlbw_cache and rtprop_cache else 10.0 * mss_bits)
+
+        for ctx in contexts:
+            delivered += ctx.newly_acked_bits
+            rtt = ctx.rtt_us
+            if rtt > 0 and rtt <= rt_head:
+                # The minimum itself was re-observed: refresh staleness.
+                rtprop_stamp = now
+            rate = ctx.delivery_rate_bps
+            if rate > 0 and not ctx.app_limited:
+                if bw_run is None:
+                    # First touch: expire under the (constant) window,
+                    # then run the max in locals.
+                    horizon = now - bt_filter.window_us
+                    while bt_samples and bt_samples[0][0] < horizon:
+                        bt_samples.popleft()
+                    bw_run = bt_samples[0][1] if bt_samples else 0.0
+                    block_rate_max = rate
+                elif rate > block_rate_max:
+                    block_rate_max = rate
+                if rate > bw_run:
+                    bw_run = rate
+                if bw_run != btlbw_cache:
+                    btlbw_cache = bw_run
+                    bdp = (btlbw_cache * rtprop_cache / US_PER_S
+                           if btlbw_cache and rtprop_cache
+                           else 10.0 * mss_bits)
+
+            if delivered - round_start_delivered >= bdp:
+                round_start_delivered = delivered
+                round_count += 1
+                # _check_full_pipe, inlined on locals.
+                if not filled_pipe and state == STARTUP:
+                    if btlbw_cache >= full_bw * 1.25:
+                        full_bw = btlbw_cache
+                        full_bw_rounds = 0
+                    else:
+                        full_bw_rounds += 1
+                        if full_bw_rounds >= 3:
+                            filled_pipe = True
+                round_ended = True
+            else:
+                round_ended = False
+
+            inflight = ctx.inflight_bits
+            if state == STARTUP and filled_pipe:  # _enter_drain
+                state = DRAIN
+                pacing_gain = 1.0 / STARTUP_GAIN
+                cwnd_gain = STARTUP_GAIN
+            if state == DRAIN and inflight <= bdp:  # _enter_probe_bw
+                state = PROBE_BW
+                cwnd_gain = CWND_GAIN
+                cycle_index = 2
+                cycle_stamp = now
+                pacing_gain = PROBE_BW_GAINS[2]
+            if state == PROBE_BW:  # _advance_cycle
+                if now - cycle_stamp >= rtprop_floor and not (
+                        pacing_gain < 1.0 and inflight > bdp):
+                    cycle_index = (cycle_index + 1) % len(PROBE_BW_GAINS)
+                    cycle_stamp = now
+                    pacing_gain = PROBE_BW_GAINS[cycle_index]
+            if (state != PROBE_RTT and rtprop_cache
+                    and now - rtprop_stamp > RTPROP_WINDOW_US):
+                state = PROBE_RTT  # _maybe_enter_probe_rtt
+                pacing_gain = 1.0
+                probe_rtt_done_at = None
+            if state == PROBE_RTT:  # _run_probe_rtt
+                if (probe_rtt_done_at is None
+                        and inflight <= probe_rtt_floor):
+                    probe_rtt_done_at = now + PROBE_RTT_DURATION_US
+                if (probe_rtt_done_at is not None
+                        and now >= probe_rtt_done_at):
+                    rtprop_stamp = now
+                    if filled_pipe:  # _enter_probe_bw
+                        state = PROBE_BW
+                        cwnd_gain = CWND_GAIN
+                        cycle_index = 2
+                        cycle_stamp = now
+                        pacing_gain = PROBE_BW_GAINS[2]
+                    else:
+                        state = STARTUP
+                        pacing_gain = STARTUP_GAIN
+                        cwnd_gain = STARTUP_GAIN
+
+        # ---- Write-back + the per-block filter inserts ----------------
+        if block_min is not None:
+            while rt_samples and rt_samples[-1][1] >= block_min:
+                rt_samples.pop()
+            rt_samples.append((now, block_min))
+        if block_rate_max is not None:
+            while bt_samples and bt_samples[-1][1] <= block_rate_max:
+                bt_samples.pop()
+            bt_samples.append((now, block_rate_max))
+        self._delivered_bits = delivered
+        self._round_start_delivered = round_start_delivered
+        self._round_count = round_count
+        self._rtprop_stamp = rtprop_stamp
+        self.btlbw_bps = btlbw_cache
+        self._full_bw = full_bw
+        self._full_bw_rounds = full_bw_rounds
+        self.filled_pipe = filled_pipe
+        self.state = state
+        self.pacing_gain = pacing_gain
+        self.cwnd_gain = cwnd_gain
+        self._cycle_index = cycle_index
+        self._cycle_stamp = cycle_stamp
+        self._probe_rtt_done_at = probe_rtt_done_at
+
     def _check_full_pipe(self) -> None:
         if self.filled_pipe or self.state != STARTUP:
             return

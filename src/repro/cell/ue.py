@@ -24,7 +24,7 @@ class UserEquipment:
     """Receiver-side state for one mobile user."""
 
     #: Checkpointing: wiring restored from the rebuilt experiment.
-    SNAPSHOT_SKIP = ("sim", "on_packet")
+    SNAPSHOT_SKIP = ("sim", "on_packet", "on_packet_block")
 
     def __init__(self, sim: Simulator, rnti: int,
                  on_packet: Optional[Callable[[Packet], None]] = None)\
@@ -33,6 +33,12 @@ class UserEquipment:
         self.rnti = rnti
         #: Callback invoked for every in-order, uncorrupted packet.
         self.on_packet = on_packet
+        #: Optional burst callback: one call per released transport
+        #: block with all its delivered packets (the batched engine's
+        #: columnar ACK-generation entry point).  Takes precedence over
+        #: ``on_packet`` when set.
+        self.on_packet_block: Optional[Callable[[list[Packet]], None]] \
+            = None
         self._reorder: ReorderingBuffer[TransportBlock] = ReorderingBuffer()
         self.delivered_packets = 0
         self.lost_packets = 0
@@ -64,6 +70,19 @@ class UserEquipment:
     # ------------------------------------------------------------------
     def _release(self, tb: TransportBlock) -> None:
         now = self.sim.now
+        block = self.on_packet_block
+        if block is not None:
+            delivered: list[Packet] = []
+            for packet in tb.completes:
+                if packet.meta.get(CORRUPT_KEY):
+                    self.lost_packets += 1
+                    continue
+                packet.recv_time_us = now
+                delivered.append(packet)
+            self.delivered_packets += len(delivered)
+            if delivered:
+                block(delivered)
+            return
         for packet in tb.completes:
             if packet.meta.get(CORRUPT_KEY):
                 self.lost_packets += 1

@@ -510,42 +510,55 @@ def cmd_perf(args: argparse.Namespace) -> int:
                   f"{', '.join(regressions)} (advisory only — wall "
                   f"clocks are machine/load dependent)", file=sys.stderr)
         return 0
-    doc = run_benchmarks(smoke=args.smoke, progress=sys.stderr)
+    doc = run_benchmarks(smoke=args.smoke, progress=sys.stderr,
+                         only=args.only)
     benches = doc["benches"]
-    loop = benches["subframe_loop"]
-    rows = [
-        ["estimator", benches["estimator"]["wall_s"],
-         f'{benches["estimator"]["estimates_per_s"]:,.0f} estimates/s'],
-        ["scheduler", benches["scheduler"]["wall_s"],
-         f'{benches["scheduler"]["calls_per_s"]:,.0f} allocations/s'],
-        ["channel_block",
-         benches["channel_block"]["block_wall_s"],
-         f'{benches["channel_block"]["block_subframes_per_s"]:,.0f} '
-         f'subframes/s ({benches["channel_block"]["speedup"]:g}x scalar)'],
-        ["dci_batch", benches["dci_batch"]["batch_wall_s"],
-         f'{benches["dci_batch"]["batch_rows_per_s"]:,.0f} rows/s '
-         f'({benches["dci_batch"]["speedup"]:g}x scalar)'],
-        ["transport_batch", benches["transport_batch"]["batch_wall_s"],
-         f'{benches["transport_batch"]["batch_acks_per_s"]:,.0f} acks/s '
-         f'({benches["transport_batch"]["speedup"]:g}x scalar)'],
-        ["subframe_loop", loop["wall_s"],
-         f'{loop["ticks_per_s"]:,.0f} ticks/s '
-         f'({loop["sim_s"]:g} sim-s)'],
-        ["sweep", benches["sweep"]["wall_s"],
-         f'{benches["sweep"]["entries"]} runs '
-         f'x {benches["sweep"]["flow_s"]:g} s flows'],
-        ["metro_smoke", benches["metro_smoke"]["batch_wall_s"],
-         f'{benches["metro_smoke"]["cells"]} cells '
-         f'({benches["metro_smoke"]["speedup"]:g}x scalar)'],
-    ]
+    # Per-bench table row: b -> (wall column, rate column).  The doc may
+    # be a subset when --only is given, so look up lazily.
+    row_formats = {
+        "estimator": lambda b: (
+            b["wall_s"], f'{b["estimates_per_s"]:,.0f} estimates/s'),
+        "scheduler": lambda b: (
+            b["wall_s"], f'{b["calls_per_s"]:,.0f} allocations/s'),
+        "channel_block": lambda b: (
+            b["block_wall_s"],
+            f'{b["block_subframes_per_s"]:,.0f} subframes/s '
+            f'({b["speedup"]:g}x scalar)'),
+        "dci_batch": lambda b: (
+            b["batch_wall_s"],
+            f'{b["batch_rows_per_s"]:,.0f} rows/s '
+            f'({b["speedup"]:g}x scalar)'),
+        "transport_batch": lambda b: (
+            b["batch_wall_s"],
+            f'{b["batch_acks_per_s"]:,.0f} acks/s '
+            f'({b["speedup"]:g}x scalar)'),
+        "cc_block": lambda b: (
+            b["block_wall_s"],
+            f'{b["block_contexts_per_s"]:,.0f} acks/s '
+            f'({b["speedup"]:g}x scalar)'),
+        "subframe_loop": lambda b: (
+            b["wall_s"],
+            f'{b["ticks_per_s"]:,.0f} ticks/s ({b["sim_s"]:g} sim-s)'),
+        "sweep": lambda b: (
+            b["wall_s"],
+            f'{b["entries"]} runs x {b["flow_s"]:g} s flows'),
+        "metro_smoke": lambda b: (
+            b["batch_wall_s"],
+            f'{b["cells"]} cells ({b["speedup"]:g}x scalar)'),
+    }
+    rows = []
+    for name, bench in benches.items():
+        wall, rate = row_formats[name](bench)
+        rows.append([name, wall, rate])
     print(format_table(["bench", "wall (s)", "rate"], rows,
                        title="Hot-path benchmarks "
                              f"({'smoke' if doc['smoke'] else 'full'})"))
-    counters = loop["counters"]
-    print(f"loop counters: events={counters['events_popped']} "
-          f"cancelled_ratio={counters['cancelled_event_ratio']} "
-          f"compactions={counters['heap_compactions']}",
-          file=sys.stderr)
+    if "subframe_loop" in benches:
+        counters = benches["subframe_loop"]["counters"]
+        print(f"loop counters: events={counters['events_popped']} "
+              f"cancelled_ratio={counters['cancelled_event_ratio']} "
+              f"compactions={counters['heap_compactions']}",
+              file=sys.stderr)
     if args.out:
         from .harness.serialize import write_json_atomic
         write_json_atomic(doc, args.out)
@@ -873,6 +886,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CI-sized benchmarks (seconds, not minutes)")
     p_perf.add_argument("--out", default=None, metavar="FILE",
                         help="write the BENCH_hotpath.json document here")
+    p_perf.add_argument("--only", action="append", default=None,
+                        metavar="BENCH",
+                        help="run only this bench (repeatable); the "
+                             "emitted document carries the subset and "
+                             "--compare treats it as partial")
     p_perf.add_argument("--compare", nargs=2, default=None,
                         metavar=("OLD.json", "NEW.json"),
                         help="diff two benchmark documents on their "

@@ -262,14 +262,92 @@ class PbeSender(CongestionControl):
             self._switch(WIRELESS, now)
 
     def on_ack_block(self, contexts: list[AckContext]) -> None:
-        # PBE's control is a sequential state machine (every ACK can
-        # flip the bottleneck state that reshapes how the next one is
-        # interpreted), so the block path is the hoisted scalar loop —
-        # the base-class fallback, restated here to make the choice
-        # explicit and pin it under test.
-        on_ack = self.on_ack
+        """Columnar §4.1 update loop over one grant cycle's ACKs.
+
+        PBE's own control is a sequential state machine (every ACK can
+        flip the bottleneck state that reshapes how the next one is
+        interpreted), so that machine still runs per ACK — but the
+        embedded BBR's per-ACK feeding is *deferred* into runs handed
+        to :meth:`Bbr.on_ack_block`, where the filter work collapses to
+        per-block aggregates.  A run is flushed before any path that
+        reads or mutates BBR state (the watchdog's RTprop read, the
+        fallback resync's BtlBw read, the §4.2.3 Internet-bottleneck
+        branch), so the interleaving of BBR updates with those reads is
+        exactly the scalar loop's.  The steady wireless-state path —
+        fresh feedback, no bottleneck shift — touches no BBR state, so
+        a busy flow's whole batch becomes a single deferred run.
+        """
+        if len(contexts) == 1:
+            self.on_ack(contexts[0])
+            return
+        if self._first_ack_us is None:
+            self._first_ack_us = contexts[0].now_us
+        bbr = self.bbr
+        bbr_block = bbr.on_ack_block
+        run: list[AckContext] = []
+        run_append = run.append
+
         for ctx in contexts:
-            on_ack(ctx)
+            now = ctx.now_us
+            self._srtt_us = ctx.srtt_us
+            run_append(ctx)
+
+            feedback = ctx.ack.feedback
+            if not isinstance(feedback, PbeFeedback):
+                bbr_block(run)
+                run.clear()
+                self._check_watchdog(now)
+                continue
+            if feedback.stale:
+                self.stale_feedback_acks += 1
+                bbr_block(run)
+                run.clear()
+                self._check_watchdog(now)
+                continue
+            if self.state == FALLBACK:
+                bbr_block(run)
+                run.clear()
+                self._resync_after_fallback(now)  # reads bbr.btlbw_bps
+            self._last_fresh_us = now
+            target_rate = feedback.target_rate_bps
+            self.target_rate_bps = target_rate
+            self.fair_rate_bps = feedback.fair_rate_bps
+            if self.guard is not None:
+                self.guard.observe(now, target_rate,
+                                   ctx.delivery_rate_bps)
+            if (self.state == STARTUP and self._ramp_start_us is None
+                    and self.fair_rate_bps > 0):
+                self._ramp_start_us = now  # first Cf report arms the ramp
+
+            if (feedback.carrier_activated
+                    and self.state in (WIRELESS, STARTUP)):
+                # §4.1 restart reads no BBR state: keep the run open.
+                self._ramp_base_bps = self._current_wireless_rate(now)
+                self._ramp_start_us = now
+                self._switch(STARTUP, now)
+                continue
+
+            if feedback.internet_bottleneck:
+                if run:  # may be empty after a same-ACK fallback resync
+                    bbr_block(run)
+                    run.clear()
+                if self.state in (STARTUP, WIRELESS):
+                    # §4.2.3: drain the queue for one RTprop first.
+                    self._drain_until_us = now + self.rtprop_us
+                    self._switch(DRAIN, now)
+                elif self.state == DRAIN and now >= self._drain_until_us:
+                    bbr.filled_pipe = True
+                    if bbr.state != PROBE_BW:
+                        bbr.enter_probe_bw(now)
+                    self._switch(INTERNET, now)
+                continue
+
+            if self.state in (DRAIN, INTERNET):
+                self._switch(WIRELESS, now)
+            elif self.state == STARTUP and self._ramp_progress(now) >= 1.0:
+                self._switch(WIRELESS, now)
+        if run:
+            bbr_block(run)
 
     def on_timeout(self, now_us: int) -> None:
         self.bbr.on_timeout(now_us)

@@ -374,6 +374,9 @@ class _RestrictedUnpickler(pickle.Unpickler):
         if module == "collections" and name == "deque":
             import collections
             return collections.deque
+        if module == "array" and name in ("array", "_array_reconstructor"):
+            import array
+            return getattr(array, name)
         if module.partition(".")[0] == "numpy" \
                 and name in self._NUMPY_NAMES:
             import importlib

@@ -251,16 +251,18 @@ class Experiment:
                      **spec.cc_kwargs)
         sender = Sender(sim, flow_id=spec.rnti, cc=cc, egress=egress,
                         app_rate_bps=spec.app_rate_bps)
-        # ACK-impaired flows run the scalar per-packet reference path,
-        # mirroring the decoder rule below: the injector's semantics are
-        # defined against the per-event stream.
+        # ACK-impaired flows keep the batched transport: the injector
+        # sits *upstream* of the batching stage and draws its RNG
+        # per packet in arrival order either way, so its loss/reorder/
+        # dup/corruption decisions land in the batch columns unchanged
+        # (pinned by the faulted fingerprint configs and
+        # tests/test_cc_block.py).  The scalar-demotion rule PR 9
+        # carried is gone.
         fault_spec = spec.fault_spec()
-        ack_batched = self.batched and not (
-            fault_spec is not None and fault_spec.impairs_pipe)
         batching = BatchingPipe(
             sim, sender, scenario.uplink_delay_us,
             batch_interval_us=scenario.uplink_batch_us,
-            name=f"uplink-{spec.rnti}", batched=ack_batched)
+            name=f"uplink-{spec.rnti}", batched=self.batched)
         uplink: Receiver = batching
 
         # Reverse-path fault injection sits between the phone and the
@@ -280,9 +282,14 @@ class Experiment:
         else:
             receiver = AckingReceiver(sim, spec.rnti, uplink)
 
-        self.network.add_user(
+        ue = self.network.add_user(
             spec.rnti, cells, channel, on_packet=receiver.receive,
             log_allocations=spec.log_allocations)
+        if self.batched:
+            # Columnar ACK generation: released transport blocks hand
+            # their packets over as one burst (scalar engine keeps the
+            # per-packet reference callback).
+            ue.on_packet_block = receiver.receive_block
 
         sim.schedule(us_from_seconds(spec.start_s), sender.start)
         end_s = (spec.start_s + spec.duration_s

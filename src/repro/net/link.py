@@ -61,18 +61,27 @@ class BatchingPipe(Receiver):
     of the "ACK delay, ACK compression" problems §2 attributes to
     delay-based schemes on cellular paths).
 
-    With ``batched=True`` each flush delivers the whole burst as **one**
-    scheduled event carrying an :class:`AckBatch`, handed to the sink's
-    ``receive_batch`` method when it has one (per-packet ``receive``
-    loop otherwise).  Scalar same-instant deliveries form a contiguous
-    run of event sequence numbers with nothing interleaved between
-    them, so collapsing the run into a single event only relabels
-    subsequent sequence numbers uniformly — relative event order, and
-    therefore behaviour, is unchanged (pinned by the
-    ``repro.harness.fingerprint`` byte-identity suite).
+    With ``batched=True`` each flush delivers the whole burst — single
+    ACKs included — as **one** scheduled event carrying an
+    :class:`AckBatch`, handed to the sink's ``receive_batch`` method
+    when it has one (per-packet ``receive`` loop otherwise).  Scalar
+    same-instant deliveries form a contiguous run of event sequence
+    numbers with nothing interleaved between them, so collapsing the
+    run into a single event only relabels subsequent sequence numbers
+    uniformly — relative event order, and therefore behaviour, is
+    unchanged (pinned by the ``repro.harness.fingerprint`` byte-identity
+    suite).
+
+    The batch is *staged columnar*: arriving ACKs append straight into
+    the flush cycle's :class:`AckBatch` columns (``_stage``), so the
+    flush itself is O(1) instead of a second pass over the burst.
+    ``_held`` stays the canonical packet list (it doubles as the staged
+    batch's ``packets`` column); after a checkpoint restore the stage is
+    gone (it is derived state) and the flush falls back to
+    :meth:`AckBatch.from_packets`.
     """
 
-    SNAPSHOT_SKIP = ("sim", "sink")
+    SNAPSHOT_SKIP = ("sim", "sink", "_stage")
 
     def __init__(self, sim: Simulator, sink: Receiver, delay_us: int,
                  batch_interval_us: int = 5_000,
@@ -88,31 +97,88 @@ class BatchingPipe(Receiver):
         self.name = name
         self.batched = batched
         self._held: list[Packet] = []
+        #: Columnar view of ``_held`` for the current flush cycle
+        #: (``None`` while idle, in scalar mode, or after a restore).
+        self._stage: Optional[AckBatch] = None
         self.forwarded = 0
         self.batches = 0
+
+    def _open_cycle(self, flow_id: int) -> None:
+        # Align the flush to the next grant boundary.  A packet
+        # landing exactly on a boundary rides that grant (wait 0),
+        # not the next one a full cycle later.
+        wait = -self.sim.now % self.batch_interval_us
+        self.sim.schedule(wait, self._flush)
+        if self.batched:
+            stage = AckBatch.stage(flow_id)
+            stage.packets = self._held  # one list, two views
+            self._stage = stage
 
     def receive(self, packet: Packet) -> None:
         packet.hops += 1
         if not self._held:
-            # Align the flush to the next grant boundary.  A packet
-            # landing exactly on a boundary rides that grant (wait 0),
-            # not the next one a full cycle later.
-            wait = -self.sim.now % self.batch_interval_us
-            self.sim.schedule(wait, self._flush)
-        self._held.append(packet)
+            self._open_cycle(packet.flow_id)
+        stage = self._stage
+        if stage is not None:
+            stage.append(packet)  # appends to _held via the alias
+        else:
+            self._held.append(packet)
+
+    def receive_block(self, packets: list[Packet]) -> None:
+        """Accept one burst of ACKs (same effects as per-packet calls).
+
+        The columnar ACK-generation path hands a whole released
+        transport block's ACKs over in one call; the column appends are
+        hoisted into locals here instead of dispatching
+        :meth:`AckBatch.append` per packet.
+        """
+        if not packets:
+            return
+        held = self._held
+        if not held:
+            self._open_cycle(packets[0].flow_id)
+        stage = self._stage
+        if stage is None:
+            for packet in packets:
+                packet.hops += 1
+                held.append(packet)
+            return
+        flow_id = stage.flow_id
+        ap_pkt = held.append
+        ap_seq = stage.acked_seq.append
+        ap_sent = stage.sent_time_us.append
+        ap_size = stage.size_bits.append
+        ap_das = stage.delivered_at_send.append
+        ap_dtas = stage.delivered_time_at_send.append
+        ap_app = stage.app_limited.append
+        for packet in packets:
+            packet.hops += 1
+            if not packet.is_ack or packet.flow_id != flow_id:
+                stage.mixed = True
+            ap_pkt(packet)
+            ap_seq(packet.acked_seq)
+            ap_sent(packet.sent_time_us)
+            ap_size(packet.size_bits)
+            ap_das(packet.delivered_at_send)
+            ap_dtas(packet.delivered_time_at_send)
+            ap_app(packet.app_limited)
 
     def _flush(self) -> None:
         batch, self._held = self._held, []
+        stage, self._stage = self._stage, None
         self.batches += 1
         n = len(batch)
         self.forwarded += n
-        if self.batched and n > 1:
+        if self.batched and n >= 1:
+            if (stage is None or stage.packets is not batch
+                    or len(stage.acked_seq) != n):
+                # Stage lost (checkpoint restore mid-cycle): rebuild.
+                stage = AckBatch.from_packets(batch)
             perf = self.sim.perf
             if perf is not None:
                 perf.ack_batches += 1
                 perf.acks_batched += n
-            self.sim.schedule(self.delay_us, self._deliver,
-                              AckBatch.from_packets(batch))
+            self.sim.schedule(self.delay_us, self._deliver, stage)
         else:
             for packet in batch:
                 self.sim.schedule(self.delay_us, self.sink.receive, packet)

@@ -113,6 +113,29 @@ class AckBatch:
         self.mixed = mixed
 
     @classmethod
+    def stage(cls, flow_id: int) -> "AckBatch":
+        """Empty batch for incremental staging.
+
+        The batched uplink (:class:`repro.net.link.BatchingPipe`) builds
+        its flush batch one :meth:`append` at a time as ACKs arrive,
+        instead of buffering packets and re-scanning them at flush time
+        — each packet's fields are read exactly once.
+        """
+        return cls(flow_id, [], [], [], [], [], [], [], False)
+
+    def append(self, packet: "Packet") -> None:
+        """Stage one packet (columns + object, mixed tracked inline)."""
+        if not packet.is_ack or packet.flow_id != self.flow_id:
+            self.mixed = True
+        self.packets.append(packet)
+        self.acked_seq.append(packet.acked_seq)
+        self.sent_time_us.append(packet.sent_time_us)
+        self.size_bits.append(packet.size_bits)
+        self.delivered_at_send.append(packet.delivered_at_send)
+        self.delivered_time_at_send.append(packet.delivered_time_at_send)
+        self.app_limited.append(packet.app_limited)
+
+    @classmethod
     def from_packets(cls, packets: list["Packet"]) -> "AckBatch":
         """Columnarize one flush's packets (single pass)."""
         flow_id = packets[0].flow_id

@@ -1,6 +1,6 @@
 """Hot-path benchmark suite → ``BENCH_hotpath.json``.
 
-Eight benches cover the measured hot paths of the subframe loop, from
+Nine benches cover the measured hot paths of the subframe loop, from
 micro to macro:
 
 ``estimator``
@@ -25,6 +25,13 @@ micro to macro:
     :meth:`Sender.receive_batch` block loop fed one
     :class:`~repro.net.packet.AckBatch` per flush.  The two end states
     are asserted equal; the headline is the speedup.
+``cc_block``
+    the congestion controllers themselves: each scheme's sequential
+    ``on_ack`` loop versus its columnar :meth:`on_ack_block` over the
+    same synthetic grant-cycle ACK blocks (PBE with scripted
+    :class:`~repro.core.feedback.PbeFeedback`, BBR, CUBIC, Copa).
+    End decisions are asserted equal; the headline is the aggregate
+    speedup.
 ``subframe_loop``
     a busy 2-carrier cell with a PBE flow and background users,
     reported as subframes (ticks) per wall second via
@@ -38,11 +45,14 @@ micro to macro:
     idle-cell fast-forward exists for; its headline is the speedup.
 
 ``run_benchmarks`` returns a JSON-ready dict (schema
-``repro.perf/bench_hotpath/v4``).  ``python -m repro perf`` writes it
-to disk; ``python -m repro perf --compare OLD.json NEW.json`` diffs
-two such documents.  CI records the file as an artifact and
-soft-compares against the committed baseline so regressions show up
-as a trajectory (and a warning), not a gate.
+``repro.perf/bench_hotpath/v5``); its ``only`` parameter (CLI:
+``python -m repro perf --only NAME``) restricts a run to named
+benches, which :func:`compare_benchmarks` treats as a partial
+document.  ``python -m repro perf`` writes it to disk;
+``python -m repro perf --compare OLD.json NEW.json`` diffs two such
+documents.  CI records the file as an artifact and soft-compares
+against the committed baseline so regressions show up as a trajectory
+(and a warning), not a gate.
 """
 
 from __future__ import annotations
@@ -60,8 +70,10 @@ from . import PerfCounters
 #: Version tag of the emitted document.  v2 added the
 #: ``channel_block`` and ``dci_batch`` microbenches; v3 added the
 #: ``metro_smoke`` macrobench; v4 added the ``transport_batch``
-#: microbench for the columnar per-ACK transport core.
-SCHEMA = "repro.perf/bench_hotpath/v4"
+#: microbench for the columnar per-ACK transport core; v5 added the
+#: ``cc_block`` microbench for the per-scheme columnar ``on_ack_block``
+#: implementations (and documents may now be partial — ``--only``).
+SCHEMA = "repro.perf/bench_hotpath/v5"
 
 
 def _bench_estimator(n_subframes: int) -> dict:
@@ -250,6 +262,112 @@ def _bench_transport_batch(sim_s: float) -> dict:
     }
 
 
+def _bench_cc_block(n_blocks: int) -> dict:
+    """Scalar ``on_ack`` loop vs columnar ``on_ack_block`` per scheme.
+
+    Replays the same synthetic grant-cycle ACK stream (5 ms blocks of
+    8–16 ACKs with jittered RTT/rate samples, scripted
+    :class:`PbeFeedback` for PBE) through both entry points of each
+    controller and asserts the end decisions — pacing rate and cwnd at
+    the final tick — agree.  Filters warm up within the first blocks,
+    so the steady state this measures is the block fast paths, not the
+    cold-start scalar fallbacks.
+    """
+    from ..baselines.base import AckContext
+    from ..baselines.bbr import Bbr
+    from ..baselines.copa import Copa
+    from ..baselines.cubic import Cubic
+    from ..core.feedback import PbeFeedback
+    from ..core.sender import PbeSender
+    from ..net.packet import Packet
+    from ..net.units import MSS_BITS
+
+    def make_stream(pbe: bool) -> list[list[AckContext]]:
+        blocks = []
+        now = 0
+        seq = 0
+        srtt = 24_000
+        for b in range(n_blocks):
+            now += 5_000
+            block = []
+            for _ in range(8 + (b % 9)):
+                feedback = None
+                if pbe:
+                    feedback = PbeFeedback.from_rates(
+                        40e6 + (seq % 11) * 1e6,
+                        30e6 + (seq % 7) * 1e6,
+                        internet_bottleneck=(b % 97) < 8,
+                        stale=(seq % 211 == 0))
+                ack = Packet(1, seq, is_ack=True, acked_seq=seq,
+                             feedback=feedback)
+                rtt = 22_000 + (seq * 37) % 9_000
+                srtt = round(0.875 * srtt + 0.125 * rtt)
+                block.append(AckContext(
+                    ack=ack, now_us=now, rtt_us=rtt,
+                    delivery_rate_bps=45e6 + ((seq * 13) % 23) * 4e5,
+                    newly_acked_bits=MSS_BITS,
+                    inflight_bits=40 * MSS_BITS,
+                    app_limited=(seq % 301 == 0),
+                    srtt_us=srtt))
+                seq += 1
+            blocks.append(block)
+        return blocks
+
+    schemes = {
+        "pbe": lambda: PbeSender(initial_rate_bps=6e6),
+        "bbr": lambda: Bbr(initial_rate_bps=6e6),
+        "cubic": Cubic,
+        "copa": Copa,
+    }
+    per_scheme = {}
+    totals = {"scalar": 0.0, "block": 0.0}
+    contexts = 0
+    for name, factory in schemes.items():
+        blocks = make_stream(name == "pbe")
+        end_us = blocks[-1][-1].now_us
+        contexts = sum(len(b) for b in blocks)
+        walls = {}
+        decisions = {}
+        for mode in ("scalar", "block"):
+            cc = factory()
+            t0 = time.perf_counter()
+            if mode == "scalar":
+                on_ack = cc.on_ack
+                for block in blocks:
+                    for ctx in block:
+                        on_ack(ctx)
+            else:
+                on_ack_block = cc.on_ack_block
+                for block in blocks:
+                    on_ack_block(block)
+            walls[mode] = time.perf_counter() - t0
+            decisions[mode] = (cc.pacing_rate_bps(end_us),
+                               cc.cwnd_bits(end_us))
+        if decisions["block"] != decisions["scalar"]:
+            raise AssertionError(f"cc_block[{name}]: block and scalar "
+                                 "decisions differ")
+        totals["scalar"] += walls["scalar"]
+        totals["block"] += walls["block"]
+        per_scheme[name] = {
+            "scalar_wall_s": round(walls["scalar"], 6),
+            "block_wall_s": round(walls["block"], 6),
+            "speedup": (round(walls["scalar"] / walls["block"], 2)
+                        if walls["block"] else 0.0),
+        }
+    return {
+        "blocks": n_blocks,
+        "contexts_per_scheme": contexts,
+        "schemes": per_scheme,
+        "scalar_wall_s": round(totals["scalar"], 6),
+        "block_wall_s": round(totals["block"], 6),
+        "block_contexts_per_s": (
+            round(len(schemes) * contexts / totals["block"], 1)
+            if totals["block"] else 0.0),
+        "speedup": (round(totals["scalar"] / totals["block"], 2)
+                    if totals["block"] else 0.0),
+    }
+
+
 def _bench_subframe_loop(duration_s: float) -> dict:
     """Busy 2-carrier cell + PBE flow; ticks per wall second."""
     from ..harness import Experiment, FlowSpec, Scenario
@@ -320,34 +438,53 @@ def _bench_metro_smoke(hour_s: float) -> dict:
     }
 
 
+#: The suite, in run order: ``name -> (bench fn, smoke size, full size)``.
+_BENCH_PLAN: dict = {
+    "estimator": (_bench_estimator, 2_000, 20_000),
+    "scheduler": (_bench_scheduler, 2_000, 20_000),
+    "channel_block": (_bench_channel_block, 10_000, 100_000),
+    "dci_batch": (_bench_dci_batch, 5_000, 50_000),
+    "transport_batch": (_bench_transport_batch, 0.5, 5.0),
+    "cc_block": (_bench_cc_block, 400, 4_000),
+    "subframe_loop": (_bench_subframe_loop, 1.0, 6.0),
+    "sweep": (_bench_sweep, 1.0, 4.0),
+    "metro_smoke": (_bench_metro_smoke, 0.4, 1.2),
+}
+
+
+def bench_names() -> tuple[str, ...]:
+    """The suite's bench names, in run order (for CLI ``--only``)."""
+    return tuple(_BENCH_PLAN)
+
+
 def run_benchmarks(smoke: bool = False,
-                   progress: Optional[object] = None) -> dict:
+                   progress: Optional[object] = None,
+                   only: Optional[object] = None) -> dict:
     """Run the suite; ``smoke=True`` shrinks every bench for CI.
 
     ``progress`` is an optional file-like object for one-line status
-    updates (the CLI passes stderr).
+    updates (the CLI passes stderr).  ``only`` optionally restricts
+    the run to the named benches (any iterable of names from
+    :func:`bench_names`); the emitted document then carries just that
+    subset, which :func:`compare_benchmarks` handles as partial.
     """
+    selected = None if only is None else set(only)
+    if selected is not None:
+        unknown = selected - set(_BENCH_PLAN)
+        if unknown:
+            raise ValueError(f"unknown benches: {', '.join(sorted(unknown))}"
+                             f" (have: {', '.join(_BENCH_PLAN)})")
 
     def say(message: str) -> None:
         if progress is not None:
             print(f"[repro perf] {message}", file=progress, flush=True)
 
-    say("estimator bench...")
-    estimator = _bench_estimator(2_000 if smoke else 20_000)
-    say("scheduler bench...")
-    scheduler = _bench_scheduler(2_000 if smoke else 20_000)
-    say("channel-block bench...")
-    channel_block = _bench_channel_block(10_000 if smoke else 100_000)
-    say("dci-batch bench...")
-    dci_batch = _bench_dci_batch(5_000 if smoke else 50_000)
-    say("transport-batch bench...")
-    transport_batch = _bench_transport_batch(0.5 if smoke else 5.0)
-    say("subframe-loop bench...")
-    loop = _bench_subframe_loop(1.0 if smoke else 6.0)
-    say("end-to-end sweep bench...")
-    sweep = _bench_sweep(1.0 if smoke else 4.0)
-    say("metro-smoke bench...")
-    metro_smoke = _bench_metro_smoke(0.4 if smoke else 1.2)
+    benches = {}
+    for name, (fn, smoke_size, full_size) in _BENCH_PLAN.items():
+        if selected is not None and name not in selected:
+            continue
+        say(f"{name} bench...")
+        benches[name] = fn(smoke_size if smoke else full_size)
     return {
         "schema": SCHEMA,
         "smoke": smoke,
@@ -356,16 +493,7 @@ def run_benchmarks(smoke: bool = False,
             "implementation": platform.python_implementation(),
             "machine": platform.machine(),
         },
-        "benches": {
-            "estimator": estimator,
-            "scheduler": scheduler,
-            "channel_block": channel_block,
-            "dci_batch": dci_batch,
-            "transport_batch": transport_batch,
-            "subframe_loop": loop,
-            "sweep": sweep,
-            "metro_smoke": metro_smoke,
-        },
+        "benches": benches,
     }
 
 
@@ -377,6 +505,7 @@ _HEADLINE = {
     "channel_block": ("block_subframes_per_s", True),
     "dci_batch": ("batch_rows_per_s", True),
     "transport_batch": ("speedup", True),
+    "cc_block": ("speedup", True),
     "subframe_loop": ("ticks_per_s", True),
     "sweep": ("wall_s", False),
     "metro_smoke": ("speedup", True),

@@ -9,7 +9,8 @@ class is *registered* here and encoded as a versioned state tree:
 * primitives (``None``/``bool``/``int``/``float``/``str``/``bytes``)
   pass through unchanged;
 * containers (``list``/``tuple``/``dict``/``set``/``frozenset``/
-  ``deque``/``numpy.ndarray``) recurse over their elements;
+  ``deque``/``numpy.ndarray``/``array.array``) recurse over their
+  elements (the flat numeric ones copy wholesale);
 * registered classes become an :class:`ObjState` marker carrying the
   registry name and an attribute dictionary (``__dict__`` or
   ``__slots__``), minus names listed in the class's ``SNAPSHOT_SKIP``;
@@ -41,6 +42,7 @@ stay valid.
 from __future__ import annotations
 
 import random
+from array import array
 from collections import deque
 from typing import Any, Callable, Optional
 
@@ -273,6 +275,8 @@ def encode_value(value: Any, ctx: Optional[EncodeContext] = None,
         return tp(value)
     if tp is np.ndarray:
         return value.copy()
+    if tp is array:
+        return array(value.typecode, value)
     if isinstance(value, np.generic):
         return value
     if tp is np.random.Generator:
@@ -385,6 +389,8 @@ def decode_value(value: Any, ctx: Optional[DecodeContext] = None) -> Any:
             return deque(value, maxlen=value.maxlen)
         return deque((decode_value(v, ctx) for v in value),
                      maxlen=value.maxlen)
+    if tp is array:
+        return array(value.typecode, value)
     return value
 
 
@@ -465,5 +471,9 @@ def _restore_value(existing: Any, value: Any, ctx: DecodeContext) -> Any:
     if tp is set and type(existing) is set:
         existing.clear()
         existing.update(value)
+        return existing
+    if tp is array and type(existing) is array \
+            and existing.typecode == value.typecode:
+        existing[:] = value
         return existing
     return decode_value(value, ctx)

@@ -275,12 +275,15 @@ def _scenario(seed=31, **kw):
 ACK_FAULTS = {"seed": 9, "ack_loss_rate": 0.02, "ack_dup_rate": 0.01}
 
 
-def test_ack_impaired_flows_auto_select_scalar_transport():
+def test_ack_impaired_flows_stay_on_the_batched_transport():
+    # The AckBatch carries per-row columns through loss/dup/reorder
+    # faults byte-identically, so ACK impairment no longer demotes the
+    # uplink to the scalar path.
     experiment = Experiment(_scenario(), batched=True)
     impaired = experiment.add_flow(FlowSpec(scheme="pbe",
                                             faults=ACK_FAULTS))
     clean = experiment.add_flow(FlowSpec(scheme="pbe", rnti=101))
-    assert impaired.uplink.batched is False
+    assert impaired.uplink.batched is True
     assert clean.uplink.batched is True
 
 
